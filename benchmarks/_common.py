@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper at the ``small``
+scale preset (override with ``REPRO_SCALE``) and prints the reproduction
+next to the paper's expectation, so ``pytest benchmarks/ --benchmark-only``
+doubles as the experiment regeneration run.  Timings measure the full
+experiment pipeline (overlay construction + protocol + accounting).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.analysis.ascii_chart import render_figure, render_table
+from repro.analysis.curves import FigureResult, TableResult
+from repro.experiments.config import resolve_scale
+
+#: Benchmarks default to the small preset unless the user overrides.
+SCALE = os.environ.get("REPRO_SCALE", "small")
+#: Seed fixed so benchmark numbers are comparable run to run.
+SEED = 20060619
+
+
+def run_experiment(benchmark, fn: Callable, render: bool = True):
+    """Execute ``fn(scale=SCALE, seed=SEED)`` once under the benchmark timer
+    and return its result for shape assertions."""
+    result = benchmark.pedantic(
+        lambda: fn(scale=SCALE, seed=SEED), rounds=1, iterations=1, warmup_rounds=0
+    )
+    if render:
+        if isinstance(result, FigureResult):
+            print()
+            print(render_figure(result))
+        elif isinstance(result, TableResult):
+            print()
+            print(render_table(result))
+    return result
+
+
+def scale_n_100k() -> int:
+    """The node count standing in for the paper's 100k runs at this scale."""
+    return resolve_scale(SCALE).n_100k

@@ -1,0 +1,7 @@
+"""Benchmark harness configuration: puts this directory on sys.path so the
+per-figure modules can import the shared `_common` helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,21 @@
+"""Ablation: completion-time comparison under a physical latency model.
+
+The paper's §V conjecture / future work, made measurable: "HopsSampling
+probably outperforms the other algorithms in terms of delay ... very
+likely to be much shorter than the 50 rounds of Aggregation or the wait
+for 200 equivalent samples of Sample&Collide".
+"""
+
+from _common import run_experiment
+from repro.experiments.delay import delay_comparison
+
+
+def test_ablation_delay(benchmark):
+    table = run_experiment(benchmark, delay_comparison)
+    by = {r["algorithm"]: r["completion_seconds"] for r in table.rows}
+    # the conjecture, quantified:
+    assert by["HopsSampling"] < by["Aggregation"]
+    assert by["Aggregation"] < by["Sample&Collide (sequential walks)"]
+    # ...and the deployment fix the model exposes: parallel walks put S&C
+    # back in contention.
+    assert by["Sample&Collide (parallel walks)"] < by["Sample&Collide (sequential walks)"]

@@ -1,0 +1,18 @@
+"""Ablation (§V): minHopsReporting sweep.
+
+Paper: "using a lower minHopsReporting parameter does not significantly
+reduce the overhead, while degrading accuracy".
+"""
+
+from _common import run_experiment
+from repro.experiments.ablations import hops_min_reporting_sweep
+
+
+def test_ablation_min_hops(benchmark):
+    table = run_experiment(benchmark, hops_min_reporting_sweep)
+    rows = {r["min_hops_reporting"]: r for r in table.rows}
+    msgs = [rows[mh]["mean_messages"] for mh in (1, 3, 5, 7)]
+    # Overhead barely moves across the sweep (spread dominates).
+    assert max(msgs) / min(msgs) < 1.6
+    # Low minHops => heavier extrapolation weights => higher variance.
+    assert rows[1]["std_quality_pct"] > rows[7]["std_quality_pct"]

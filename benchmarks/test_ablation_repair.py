@@ -1,0 +1,26 @@
+"""Ablation: overlay repair vs the Fig 17 breakdown.
+
+Extension of the paper's §IV-D analysis: the breakdown under −50%
+shrinkage is attributed to connectivity loss in the *unrepaired* overlay.
+Re-running the scenario under maintenance policies separates the cause
+(repair suppresses the breakdown) and prices the cure (CONTROL messages).
+"""
+
+from _common import run_experiment
+from repro.experiments.repair_exp import repair_comparison
+
+
+def test_ablation_repair(benchmark):
+    table = run_experiment(benchmark, repair_comparison)
+    by = {r["policy"]: r for r in table.rows}
+    none = by["none (paper)"]
+    degree = by["degree repair (min 3 -> 5)"]
+    full = by["full repair (ideal)"]
+    # the paper's baseline pays nothing and breaks down
+    assert none["repair_messages"] == 0
+    # maintenance spends messages...
+    assert degree["repair_messages"] > 0
+    assert full["repair_messages"] >= degree["repair_messages"]
+    # ...and suppresses the late-run degradation
+    assert full["late_rel_error_pct"] < none["late_rel_error_pct"]
+    assert degree["late_rel_error_pct"] <= none["late_rel_error_pct"] + 1.0

@@ -1,0 +1,18 @@
+"""Ablation (§IV-E / §V): Sample&Collide cost and accuracy vs l.
+
+Paper: cost(l=100) ≈ 3.27 × cost(l=10); cost(l=200) ≈ 1.40 × cost(l=100);
+accuracy improves as 1/sqrt(l).
+"""
+
+from _common import run_experiment
+from repro.experiments.ablations import sc_cost_vs_l
+
+
+def test_ablation_sc_l(benchmark):
+    table = run_experiment(benchmark, sc_cost_vs_l)
+    rows = {r["l"]: r for r in table.rows}
+    ratio_100_10 = rows[100]["mean_messages"] / rows[10]["mean_messages"]
+    ratio_200_100 = rows[200]["mean_messages"] / rows[100]["mean_messages"]
+    assert 2.4 <= ratio_100_10 <= 4.2  # paper: 3.27 (sqrt(10)=3.16)
+    assert 1.2 <= ratio_200_100 <= 1.7  # paper: 1.40 (sqrt(2)=1.41)
+    assert rows[200]["mean_abs_error_pct"] < rows[10]["mean_abs_error_pct"]

@@ -1,0 +1,22 @@
+"""Ablation (§IV-A): heterogeneous vs homogeneous overlays.
+
+Paper: homogeneous node degree "consistently improved all algorithms"; the
+heterogeneous overlay is the worst-case setting the evaluation reports.
+"""
+
+from _common import run_experiment
+from repro.experiments.ablations import topology_comparison
+
+
+def test_ablation_topology(benchmark):
+    table = run_experiment(benchmark, topology_comparison)
+    by = {(r["topology"].split(" ")[0], r["algorithm"]): r["mean_abs_error_pct"]
+          for r in table.rows}
+    # Sample&Collide: tighter on the homogeneous overlay (uniform sampling
+    # needs no degree correction there).
+    assert by[("homogeneous", "Sample&Collide (l=200)")] <= (
+        by[("heterogeneous", "Sample&Collide (l=200)")] + 2.0
+    )
+    # Aggregation is exact on both (mass conservation is topology-free).
+    assert by[("heterogeneous", "Aggregation (50 rounds)")] < 1
+    assert by[("homogeneous", "Aggregation (50 rounds)")] < 1

@@ -1,0 +1,22 @@
+"""Figure 1: Sample&Collide oneShot + last10runs, l=200, static '100k' overlay.
+
+Paper shape: oneShot stays within a ≈10% window (occasional 10-20% peaks);
+last10runs stays within ≈3-4%.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.static import fig01_sample_collide_100k
+
+
+def test_fig01(benchmark):
+    fig = run_experiment(benchmark, fig01_sample_collide_100k)
+    one = fig.curve("one shot").y
+    ten = fig.curve("last 10 runs").y
+    # oneShot: unbiased, ~7% relative std (l=200)
+    assert abs(one.mean() - 100) < 8
+    assert np.abs(one - 100).max() < 35
+    # last10runs: within a few percent once the window fills
+    assert np.abs(ten[10:] - 100).max() < 12
+    assert np.abs(ten[10:] - 100).mean() < 5

@@ -1,0 +1,17 @@
+"""Figure 2: Sample&Collide, l=200, static '1M' overlay (18 estimations).
+
+Paper shape: identical accuracy bands to Fig 1 — S&C's error depends only
+on l, not on N.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.static import fig02_sample_collide_1m
+
+
+def test_fig02(benchmark):
+    fig = run_experiment(benchmark, fig02_sample_collide_1m)
+    one = fig.curve("one shot").y
+    assert abs(one.mean() - 100) < 10
+    assert np.abs(one - 100).max() < 35

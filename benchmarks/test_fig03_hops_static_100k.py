@@ -1,0 +1,19 @@
+"""Figure 3: HopsSampling oneShot + last10runs, static '100k' overlay.
+
+Paper shape: noisier than S&C; last10runs within ≈20%; oneShot peaks can
+exceed 50% error; consistent tendency to under-estimate.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.static import fig03_hops_sampling_100k
+
+
+def test_fig03(benchmark):
+    fig = run_experiment(benchmark, fig03_hops_sampling_100k)
+    one = fig.curve("one shot").y
+    ten = fig.curve("last 10 runs").y
+    assert one.mean() < 100  # systematic under-estimation
+    assert np.abs(ten[10:] - 100).mean() < 25  # last10runs ~20% band
+    assert one.std() > fig.curve("last 10 runs").y[10:].std()  # smoothing helps

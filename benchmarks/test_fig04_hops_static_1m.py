@@ -1,0 +1,15 @@
+"""Figure 4: HopsSampling, static '1M' overlay (20 estimations).
+
+Paper shape: the algorithm scales — same bands and the same
+under-estimation as Fig 3.
+"""
+
+from _common import run_experiment
+from repro.experiments.static import fig04_hops_sampling_1m
+
+
+def test_fig04(benchmark):
+    fig = run_experiment(benchmark, fig04_hops_sampling_1m)
+    one = fig.curve("one shot").y
+    assert one.mean() < 105  # no over-estimation regime at larger N either
+    assert one.min() > 30  # and not a collapse

@@ -1,0 +1,19 @@
+"""Figure 5: Aggregation convergence, 3 epochs, '100k' overlay.
+
+Paper shape: quality rises to ≈100% and stays there; ≈40 rounds suffice at
+100k nodes (scaled-down overlays converge a bit sooner, log N scaling).
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.static import fig05_aggregation_100k
+
+
+def test_fig05(benchmark):
+    fig = run_experiment(benchmark, fig05_aggregation_100k)
+    for curve in fig.curves:
+        assert abs(curve.final() - 100) < 1  # converged exactly
+        # convergence is monotone-ish: the last quarter is flat at 100
+        tail = curve.y[-len(curve.y) // 4 :]
+        assert np.abs(tail - 100).max() < 2

@@ -1,0 +1,29 @@
+"""Figure 6: Aggregation convergence, 3 epochs, '1M' overlay.
+
+Paper shape: same convergence to 100%, needing a few more rounds than the
+'100k' overlay (≈50 vs ≈40 in the paper — log N scaling).
+"""
+
+from _common import run_experiment
+from repro.experiments.static import (
+    fig05_aggregation_100k,
+    fig06_aggregation_1m,
+)
+
+
+def _rounds_to_one_percent(curve) -> int:
+    for i, q in enumerate(curve.y):
+        if abs(q - 100.0) < 1.0:
+            return i + 1
+    return len(curve.y)
+
+
+def test_fig06(benchmark):
+    fig = run_experiment(benchmark, fig06_aggregation_1m)
+    for curve in fig.curves:
+        assert abs(curve.final() - 100) < 1
+    # The larger overlay needs at least as many rounds as the smaller one.
+    small_fig = fig05_aggregation_100k(scale="small", seed=20060619)
+    big_rounds = min(_rounds_to_one_percent(c) for c in fig.curves)
+    small_rounds = min(_rounds_to_one_percent(c) for c in small_fig.curves)
+    assert big_rounds >= small_rounds - 2

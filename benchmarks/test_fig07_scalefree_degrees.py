@@ -1,0 +1,17 @@
+"""Figure 7: scale-free overlay degree distribution (log-log power law).
+
+Paper at 100,000 nodes: min degree 3, max ≈1177, average ≈6; straight-line
+log-log decay (BA exponent ≈3).
+"""
+
+from _common import run_experiment
+from repro.experiments.scale_free_exp import fig07_scale_free_degrees
+
+
+def test_fig07(benchmark):
+    fig = run_experiment(benchmark, fig07_scale_free_degrees)
+    assert fig.params["min_degree"] >= 3
+    assert 5.0 <= fig.params["mean_degree"] <= 7.0
+    # hubs: max degree far above the mean, as in the paper's 1177-vs-6
+    assert fig.params["max_degree"] > 15 * fig.params["mean_degree"]
+    assert 2.0 < fig.params["powerlaw_exponent"] < 4.0

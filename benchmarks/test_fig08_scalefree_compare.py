@@ -1,0 +1,23 @@
+"""Figure 8: the three candidates on one scale-free overlay.
+
+Paper shape: Sample&Collide unbiased (the timer walk corrects degree bias),
+Aggregation accurate, HopsSampling's under-estimation amplified relative to
+the random overlay.
+"""
+
+from _common import run_experiment
+from repro.experiments.scale_free_exp import fig08_scale_free_comparison
+from repro.experiments.static import fig03_hops_sampling_100k
+
+
+def test_fig08(benchmark):
+    fig = run_experiment(benchmark, fig08_scale_free_comparison)
+    sc = fig.curve("Sample&collide").tail_mean(1.0)
+    agg = fig.curve("Aggregation").tail_mean(1.0)
+    hops = fig.curve("HopsSampling").tail_mean(0.8)
+    assert abs(sc - 100) < 10
+    assert abs(agg - 100) < 3
+    assert hops < 95  # biased low...
+    hops_random = fig03_hops_sampling_100k(scale="small", seed=20060619)
+    hops_on_random = hops_random.curve("last 10 runs").tail_mean(0.8)
+    assert hops < hops_on_random  # ...and worse than on the random overlay

@@ -1,0 +1,23 @@
+"""Figure 10: Sample&Collide oneShot on a +50% growing overlay.
+
+Paper shape: the estimation follows the real size closely throughout the
+growth.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig10_sc_growing
+
+
+def test_fig10(benchmark):
+    fig = run_experiment(benchmark, fig10_sc_growing)
+    real = fig.curve("Real network size").y
+    assert real[-1] / real[0] > 1.4  # +50% applied
+    for k in (1, 2, 3):
+        est = fig.curve(f"Estimation #{k}").y
+        rel = np.abs(est - real) / real
+        assert np.nanmean(rel) < 0.12
+    # the estimates actually rise with the network (not flat)
+    est1 = fig.curve("Estimation #1").y
+    assert np.nanmean(est1[-5:]) > 1.25 * np.nanmean(est1[:5])

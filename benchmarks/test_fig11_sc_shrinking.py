@@ -1,0 +1,20 @@
+"""Figure 11: Sample&Collide oneShot on a −50% shrinking overlay.
+
+Paper shape: reliable tracking despite the degradation of overlay
+connectivity (removals are never repaired).
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig11_sc_shrinking
+
+
+def test_fig11(benchmark):
+    fig = run_experiment(benchmark, fig11_sc_shrinking)
+    real = fig.curve("Real network size").y
+    assert 0.45 < real[-1] / real[0] < 0.55  # -50% applied
+    for k in (1, 2, 3):
+        est = fig.curve(f"Estimation #{k}").y
+        rel = np.abs(est - real) / real
+        assert np.nanmean(rel) < 0.15

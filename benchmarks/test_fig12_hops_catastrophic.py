@@ -1,0 +1,22 @@
+"""Figure 12: HopsSampling last10runs under catastrophic failures.
+
+Paper shape: follows the drops with the averaging window's lag; slightly
+under-estimated; more variation around the real size than Sample&Collide.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig12_hops_catastrophic
+
+
+def test_fig12(benchmark):
+    fig = run_experiment(benchmark, fig12_hops_catastrophic)
+    real = fig.curve("Real network size").y
+    est = fig.curve("Estimation #1").y
+    # settles near (slightly below) the post-failure size at the end
+    tail_ratio = np.nanmean(est[-5:]) / real[-1]
+    assert 0.6 < tail_ratio < 1.1
+    # immediately after the first cliff the smoothed estimate lags ABOVE
+    cliff = len(real) // 3
+    assert est[cliff + 1] > real[cliff + 1]

@@ -1,0 +1,18 @@
+"""Figure 13: HopsSampling last10runs on a +50% growing overlay.
+
+Paper shape: follows the growth, staying slightly under the real size.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig13_hops_growing
+
+
+def test_fig13(benchmark):
+    fig = run_experiment(benchmark, fig13_hops_growing)
+    real = fig.curve("Real network size").y
+    est = fig.curve("Estimation #1").y
+    assert np.nanmean(est[-8:]) > np.nanmean(est[:8])  # rises with N
+    ratio = np.nanmean(est[10:] / real[10:])
+    assert 0.6 < ratio < 1.05  # under-estimation persists under churn

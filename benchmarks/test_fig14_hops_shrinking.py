@@ -1,0 +1,26 @@
+"""Figure 14: HopsSampling last10runs on a −50% shrinking overlay.
+
+Paper shape: tracks the shrink (with window lag); higher variation than
+Sample&Collide in the same scenario.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig14_hops_shrinking
+
+
+def test_fig14(benchmark):
+    fig = run_experiment(benchmark, fig14_hops_shrinking)
+    real = fig.curve("Real network size").y
+    n = len(real)
+    for k in (1, 2, 3):
+        est = fig.curve(f"Estimation #{k}").y
+        assert np.nanmean(est[-8:]) < np.nanmean(est[:8])  # falls with N
+        rel = np.abs(est[10:] - real[10:]) / real[10:]
+        assert np.nanmean(rel) < 0.45
+    # (The paper additionally notes more variation than S&C in the same
+    # scenario; at paper scale the raw one-shot variance gap dominates, but
+    # after last10runs smoothing at benchmark scale the two are within
+    # noise of each other, so that cross-algorithm claim is asserted on the
+    # unsmoothed estimators in tests/test_integration.py instead.)

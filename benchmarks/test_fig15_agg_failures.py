@@ -1,0 +1,27 @@
+"""Figure 15: Aggregation monitor under catastrophic failures.
+
+Paper schedule (rescaled): −25% at rounds 100 and 500, +25% of the initial
+size at round 700.  Paper shape: the staircase estimate lags each cliff by
+one restart epoch (the conservative effect) but recovers after restarts.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig15_agg_failures
+
+
+def test_fig15(benchmark):
+    fig = run_experiment(benchmark, fig15_agg_failures)
+    real = fig.curve("Real size").y
+    est = fig.curve("Estimation #1").y
+    n0 = fig.params["n0"]
+    # schedule applied: -25%, -25%, +n0/4
+    expected_final = round(round(n0 * 0.75) * 0.75) + n0 // 4
+    assert abs(real[-1] - expected_final) <= 2
+    # Steady state at the end: cumulative departures were ≈44% — past the
+    # paper's ≈30% threshold — so the degraded, unrepaired overlay keeps
+    # epochs from fully converging and the staircase settles somewhat BELOW
+    # the real size (the same mechanism as Fig 17), without collapsing.
+    tail_ratio = np.nanmean(est[-20:]) / real[-1]
+    assert 0.55 < tail_ratio < 1.1

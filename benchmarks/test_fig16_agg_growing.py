@@ -1,0 +1,21 @@
+"""Figure 16: Aggregation monitor on a +50% growing overlay.
+
+Paper shape: fairly good adaptation — joiners enter the running epoch at
+value 0 (mass preserving), so even the within-epoch average tracks 1/N(t).
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig16_agg_growing
+
+
+def test_fig16(benchmark):
+    fig = run_experiment(benchmark, fig16_agg_growing)
+    real = fig.curve("Real size").y
+    assert real[-1] / real[0] > 1.4  # +50% applied
+    for k in (1, 2, 3):
+        est = fig.curve(f"Estimation #{k}").y
+        tail_ratio = np.nanmean(est[-15:]) / np.mean(real[-15:])
+        assert 0.85 < tail_ratio < 1.1
+    assert all(f == 0 for f in fig.params["failed_epochs"])  # growth never fails

@@ -1,0 +1,28 @@
+"""Figure 17: Aggregation monitor on a −50% shrinking overlay.
+
+Paper shape — the study's headline failure mode: reasonable tracking until
+cumulative departures reach ≈30%, then the unrepaired overlay's degraded
+connectivity prevents the epidemic from converging within an epoch and the
+estimates fall away from the real size.
+"""
+
+import numpy as np
+
+from _common import run_experiment
+from repro.experiments.dynamic import fig17_agg_shrinking
+
+
+def test_fig17(benchmark):
+    fig = run_experiment(benchmark, fig17_agg_shrinking)
+    real = fig.curve("Real size").y
+    est = fig.curve("Estimation #1").y
+    n = len(real)
+    assert 0.45 < real[-1] / real[0] < 0.55  # -50% applied
+
+    def rel_err(sl):
+        return float(np.nanmean(np.abs(est[sl] - real[sl]) / real[sl]))
+
+    early = rel_err(slice(n // 8, n // 4))     # <15% departed: fine
+    late = rel_err(slice(3 * n // 4, None))    # >40% departed: degraded
+    assert early < 0.15
+    assert late > 2 * early  # the breakdown

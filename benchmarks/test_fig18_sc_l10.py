@@ -1,0 +1,15 @@
+"""Figure 18: Sample&Collide with l=10 — the cheap, noisy configuration.
+
+Paper shape: one-shot relative std ≈ 1/sqrt(10) ≈ 32%, at roughly 1/5 of
+the l=200 overhead (§V: "only 100,000 messages" vs 480,000 at N=100k).
+"""
+
+from _common import run_experiment
+from repro.experiments.static import fig18_sample_collide_l10
+
+
+def test_fig18(benchmark):
+    fig = run_experiment(benchmark, fig18_sample_collide_l10)
+    one = fig.curve("One Shot").y
+    assert abs(one.mean() - 100) < 25  # unbiased but noisy
+    assert 12 < one.std() < 60  # ~32% relative std band

@@ -1,0 +1,48 @@
+"""Table I: per-estimation overhead of each algorithm.
+
+Paper (n=100,000): S&C l=200 oneShot 0.5M / Hops last10runs 2.5M /
+S&C last10runs 5M / Aggregation-50-rounds 10M messages, with accuracies
+±10% / −20% / ±4% / −1%.  At other scales the measured counts must match
+the closed-form models (sqrt(2lN)·(T·d̄+1), Θ(N) spread, 2·N·rounds) and
+preserve the cost ordering.
+"""
+
+from _common import run_experiment
+from repro.experiments.overhead import analytic_overhead_models, table1_overhead
+
+
+def test_table1(benchmark):
+    table = run_experiment(benchmark, table1_overhead)
+    rows = {(r["algorithm"], r["parameters"]): r for r in table.rows}
+    sc_one = rows[("Sample&Collide (l=200)", "oneShot")]
+    agg = next(r for (a, _), r in rows.items() if a == "Aggregation")
+    hops_ten = rows[("HopsSampling", "last10runs")]
+
+    # Measured costs track the analytic models at this benchmark's scale.
+    for row in table.rows:
+        assert abs(row["overhead_messages"] - row["overhead_model"]) <= (
+            0.35 * row["overhead_model"]
+        ), row
+    # Scale-stable parts of the paper's cost ordering (S&C grows as
+    # sqrt(N), the gossip algorithms as N, so S&C-vs-gossip orderings are
+    # asserted at the paper's N via the validated models below).
+    assert sc_one["overhead_messages"] < hops_ten["overhead_messages"]
+    assert hops_ten["overhead_messages"] < agg["overhead_messages"]
+    # At the paper's N=100,000 the models reproduce Table I itself:
+    # 0.5M / 2.5M / 5M / 10M with the full ordering.
+    m = analytic_overhead_models(100_000, l=200, timer=10.0, avg_degree=7.2, rounds=50)
+    assert 0.35e6 < m["sample_collide_oneshot"] < 0.65e6      # paper: 0.5M
+    assert 2.0e6 < m["hops_sampling_last10"] < 4.0e6          # paper: 2.5M
+    assert 4.0e6 < m["sample_collide_last10"] < 6.5e6         # paper: 5M
+    assert m["aggregation"] == 10.0e6                         # paper: 10M
+    assert (
+        m["sample_collide_oneshot"]
+        < m["hops_sampling_last10"]
+        < m["sample_collide_last10"]
+        < m["aggregation"]
+    )
+    # Accuracy story: Aggregation ~exact; S&C oneShot within its band;
+    # Hops biased low (signed accuracy at/below the true size).
+    assert abs(agg["accuracy_pct"]) < 2
+    assert sc_one["accuracy_pct"] < 15
+    assert hops_ten["accuracy_pct"] < 5

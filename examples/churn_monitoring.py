@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Continuous size monitoring of a churning overlay (the §IV-D scenario).
+
+Simulates a flash crowd followed by a mass departure while two monitors
+track the overlay size:
+
+* a Sample&Collide probe fired every 5 rounds (memoryless, reacts fast);
+* an Aggregation monitor with periodic 40-round restart epochs (exact in
+  steady state, staircase-lagged under churn).
+
+Prints a timeline comparing both against the true size — the trade-off the
+paper's dynamic evaluation quantifies.
+
+Run:
+    python examples/churn_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChurnScheduler,
+    ChurnTrace,
+    ChurnEvent,
+    RoundDriver,
+    SampleCollideEstimator,
+    heterogeneous_random,
+)
+from repro.core.aggregation import AggregationMonitor
+from repro.sim.rng import RngHub
+
+N0 = 8_000
+HORIZON = 300
+
+
+def main() -> None:
+    hub = RngHub(7)
+    graph = heterogeneous_random(N0, rng=hub.stream("overlay"))
+
+    # Flash crowd at round 60 (+50%), mass failure at round 180 (-40%).
+    trace = ChurnTrace([
+        ChurnEvent(time=60, joins=N0 // 2),
+        ChurnEvent(time=180, frac_leaves=0.4),
+    ])
+
+    driver = RoundDriver()
+    ChurnScheduler(graph, trace, rng=hub.stream("churn")).attach(driver)
+
+    agg_monitor = AggregationMonitor(graph, restart_interval=40,
+                                     rng=hub.stream("agg"))
+    agg_monitor.attach(driver)
+
+    timeline = []
+
+    def probe(rnd: int) -> None:
+        if rnd % 5 != 0:
+            return
+        sc = SampleCollideEstimator(graph, l=100, rng=hub.fresh("sc"))
+        sc_est = sc.estimate().value
+        agg_est = agg_monitor.series[-1] if agg_monitor.series else float("nan")
+        timeline.append((rnd, graph.size, sc_est, agg_est))
+
+    driver.subscribe(probe, priority=30)
+    print(f"Monitoring a {N0:,}-node overlay for {HORIZON} rounds "
+          "(+50% at round 60, -40% at round 180) ...\n")
+    driver.run(HORIZON)
+
+    print(f"{'round':>6} {'true size':>10} {'S&C probe':>11} {'Aggregation':>12}")
+    for rnd, true, sc_v, agg_v in timeline:
+        marker = ""
+        if rnd == 60:
+            marker = "  <- flash crowd"
+        elif rnd == 180:
+            marker = "  <- mass failure"
+        agg_s = f"{agg_v:>12,.0f}" if agg_v == agg_v else f"{'-':>12}"
+        print(f"{rnd:>6} {true:>10,} {sc_v:>11,.0f} {agg_s}{marker}")
+
+    print()
+    print("Note how the S&C probe tracks each event within one probe period,")
+    print("while the Aggregation staircase lags by up to one restart epoch —")
+    print("but sits exactly on the true size in steady state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Choosing an estimator under a message budget (the paper's §V tradeoffs).
+
+A developer integrating size estimation usually starts from a budget:
+"how accurate can I get for X messages per estimate?"  This example sweeps
+Sample&Collide's l parameter and compares the achievable (cost, accuracy)
+points against HopsSampling and Aggregation on the same overlay, printing
+the frontier the paper's Table I summarizes.
+
+Run:
+    python examples/overhead_budgeting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AggregationProtocol,
+    HopsSamplingEstimator,
+    SampleCollideEstimator,
+    heterogeneous_random,
+)
+from repro.sim.rng import RngHub
+
+N = 10_000
+REPS = 8
+
+
+def measure(make) -> tuple:
+    costs, errors = [], []
+    for _ in range(REPS):
+        est = make().estimate()
+        costs.append(est.messages)
+        errors.append(abs(est.quality(N) - 100.0))
+    return float(np.mean(costs)), float(np.mean(errors))
+
+
+def main() -> None:
+    hub = RngHub(11)
+    graph = heterogeneous_random(N, rng=hub.stream("overlay"))
+
+    print(f"Cost/accuracy frontier on an n={N:,} overlay "
+          f"(mean of {REPS} runs each)\n")
+    print(f"{'configuration':<34} {'msgs/estimate':>14} {'mean |error| %':>15}")
+    print("-" * 65)
+
+    rows = []
+    for l in (10, 50, 100, 200, 400):
+        cost, err = measure(
+            lambda l=l: SampleCollideEstimator(graph, l=l, rng=hub.fresh("sc"))
+        )
+        rows.append((f"Sample&Collide l={l}", cost, err))
+
+    cost, err = measure(lambda: HopsSamplingEstimator(graph, rng=hub.fresh("h")))
+    rows.append(("HopsSampling (one shot)", cost, err))
+
+    for rounds in (20, 35, 50):
+        cost, err = measure(
+            lambda r=rounds: _AggOnce(graph, hub, r)
+        )
+        rows.append((f"Aggregation {rounds} rounds", cost, err))
+
+    for name, cost, err in rows:
+        print(f"{name:<34} {cost:>14,.0f} {err:>14.2f}%")
+
+    print()
+    print("Reading the frontier:")
+    print(" * Sample&Collide spans the whole budget axis — l is the dial")
+    print("   (error ~ 1/sqrt(l), cost ~ sqrt(l)).")
+    print(" * Aggregation buys near-exactness, but only at the high end,")
+    print("   and cutting rounds below convergence degrades it sharply —")
+    print("   the inflexibility the paper calls out.")
+    print(" * HopsSampling is cheap-ish but carries its coverage bias.")
+
+
+class _AggOnce:
+    """Adapter giving AggregationProtocol the one-shot estimator shape."""
+
+    def __init__(self, graph, hub, rounds):
+        self.proto = AggregationProtocol(graph, rng=hub.fresh("agg"))
+        self.rounds = rounds
+
+    def estimate(self):
+        return self.proto.estimate(rounds=self.rounds)
+
+
+if __name__ == "__main__":
+    main()

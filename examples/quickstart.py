@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: estimate the size of a peer-to-peer overlay three ways.
+
+Builds the paper's standard overlay (heterogeneous random graph, max degree
+10), then runs each candidate algorithm once and prints its estimate, error
+and message cost — a minimal tour of the public API.
+
+Run:
+    python examples/quickstart.py [n_nodes] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    AggregationProtocol,
+    HopsSamplingEstimator,
+    SampleCollideEstimator,
+    heterogeneous_random,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+
+    print(f"Building a heterogeneous random overlay with {n:,} nodes ...")
+    graph = heterogeneous_random(n, max_degree=10, rng=seed)
+    print(f"  nodes: {graph.size:,}   edges: {graph.num_edges:,}   "
+          f"avg degree: {graph.average_degree():.2f}")
+    print()
+
+    # --- Sample&Collide: random-walk sampling + inverted birthday paradox
+    sc = SampleCollideEstimator(graph, l=200, timer=10.0, rng=seed)
+    est = sc.estimate()
+    _report("Sample&Collide (l=200, oneShot)", est, graph.size)
+
+    # --- HopsSampling: gossip spread + probabilistic polling
+    hops = HopsSamplingEstimator(graph, rng=seed)
+    est = hops.estimate()
+    _report("HopsSampling (minHopsReporting=5)", est, graph.size)
+    print(f"    (spread reached {est.meta['coverage']:.0%} of the overlay — "
+          "unreached nodes are why this one under-estimates)")
+
+    # --- Aggregation: push-pull averaging, exact after convergence
+    agg = AggregationProtocol(graph, rng=seed)
+    est = agg.estimate(rounds=50)
+    _report("Aggregation (50 rounds)", est, graph.size)
+
+    print()
+    print("Takeaway (the paper's Table I): Aggregation is near-exact but")
+    print("costs 2*N*rounds messages; Sample&Collide trades accuracy for")
+    print("cost via l; HopsSampling sits in between with a low bias.")
+
+
+def _report(name: str, est, true_size: int) -> None:
+    err = est.quality(true_size) - 100.0
+    print(f"  {name}")
+    print(f"    estimate: {est.value:>12,.0f}   (true {true_size:,}, "
+          f"error {err:+.1f}%)   cost: {est.messages:,} messages")
+
+
+if __name__ == "__main__":
+    main()

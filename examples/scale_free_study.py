@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Topology sensitivity study: random vs scale-free overlays (§IV-C-g).
+
+Many real overlays (and the Internet itself, as the paper notes) have
+power-law degree distributions.  This example builds a Barabási–Albert
+overlay next to the standard heterogeneous random one and measures how
+each algorithm's accuracy changes — reproducing the paper's Fig 7/8
+findings in script form:
+
+* Sample&Collide's timer walk stays unbiased (its whole design point);
+* Aggregation stays exact (mass conservation is topology-free);
+* HopsSampling's under-estimation gets *worse* (hubs skew the gossip
+  spread's coverage).
+
+Run:
+    python examples/scale_free_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AggregationProtocol,
+    HopsSamplingEstimator,
+    SampleCollideEstimator,
+    heterogeneous_random,
+    scale_free,
+)
+from repro.overlay.views import degree_stats, powerlaw_exponent
+from repro.sim.rng import RngHub
+
+N = 8_000
+REPS = 10
+
+
+def run_suite(graph, hub) -> dict:
+    n = graph.size
+    out = {}
+    out["Sample&Collide (l=200)"] = [
+        SampleCollideEstimator(graph, l=200, rng=hub.fresh("sc")).estimate().quality(n)
+        for _ in range(REPS)
+    ]
+    out["HopsSampling"] = [
+        HopsSamplingEstimator(graph, rng=hub.fresh("hops")).estimate().quality(n)
+        for _ in range(REPS)
+    ]
+    out["Aggregation (50 rounds)"] = [
+        AggregationProtocol(graph, rng=hub.fresh("agg")).estimate(rounds=50).quality(n)
+        for _ in range(REPS)
+    ]
+    return out
+
+
+def describe(graph, label) -> None:
+    s = degree_stats(graph)
+    line = (f"{label}: n={s.n:,}  avg deg={s.mean_degree:.1f}  "
+            f"max deg={s.max_degree}")
+    try:
+        line += f"  power-law exponent={powerlaw_exponent(graph):.2f}"
+    except ValueError:
+        pass
+    print(line)
+
+
+def main() -> None:
+    hub = RngHub(23)
+    random_overlay = heterogeneous_random(N, rng=hub.stream("rand"))
+    sf_overlay = scale_free(N, m=3, rng=hub.stream("sf"))
+
+    describe(random_overlay, "random overlay    ")
+    describe(sf_overlay, "scale-free overlay")
+    print()
+
+    res_rand = run_suite(random_overlay, hub.child("on_rand"))
+    res_sf = run_suite(sf_overlay, hub.child("on_sf"))
+
+    print(f"{'algorithm':<26} {'random: mean q%':>16} {'scale-free: mean q%':>20}")
+    print("-" * 64)
+    for name in res_rand:
+        q_r = np.mean(res_rand[name])
+        q_s = np.mean(res_sf[name])
+        print(f"{name:<26} {q_r:>15.1f}% {q_s:>19.1f}%")
+
+    hops_delta = np.mean(res_rand["HopsSampling"]) - np.mean(res_sf["HopsSampling"])
+    print()
+    print(f"HopsSampling loses a further {hops_delta:.1f} quality points on the")
+    print("scale-free overlay — the paper's amplified-bias observation —")
+    print("while the walk-based and epidemic candidates are unaffected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The normal entry point is pyproject.toml; this file exists so that
+``pip install -e .`` works on minimal environments that lack the ``wheel``
+package (legacy ``setup.py develop`` path via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

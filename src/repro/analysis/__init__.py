@@ -1,0 +1,27 @@
+"""Result containers and terminal rendering for experiment outputs."""
+
+from .ascii_chart import line_chart, render_figure, render_table
+from .curves import Curve, FigureResult, TableResult
+from .validation import (
+    BiasVerdict,
+    BootstrapCI,
+    bias_test,
+    bootstrap_mean_ci,
+    detect_convergence,
+    variance_ratio_test,
+)
+
+__all__ = [
+    "BiasVerdict",
+    "BootstrapCI",
+    "Curve",
+    "bias_test",
+    "bootstrap_mean_ci",
+    "detect_convergence",
+    "variance_ratio_test",
+    "FigureResult",
+    "TableResult",
+    "line_chart",
+    "render_figure",
+    "render_table",
+]

@@ -1,0 +1,129 @@
+"""Terminal rendering of figure results.
+
+The original figures are gnuplot line charts; in a headless reproduction
+the equivalent artifact is an ASCII chart plus the CSV the user can plot
+externally.  The renderer is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from .curves import Curve, FigureResult, TableResult
+
+__all__ = ["render_figure", "render_table", "line_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _nice_bounds(lo: float, hi: float) -> tuple:
+    """Pad and round axis bounds so flat curves stay visible."""
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        return 0.0, 1.0
+    if lo == hi:
+        pad = abs(lo) * 0.1 + 1.0
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad
+
+
+def line_chart(
+    curves: Sequence[Curve],
+    width: int = 72,
+    height: int = 20,
+    ylabel: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render curves on a shared grid; one marker character per curve."""
+    curves = [c for c in curves if len(c) > 0]
+    if not curves:
+        return "(no data)\n"
+    xs = np.concatenate([c.x for c in curves])
+    ys = np.concatenate([c.y for c in curves])
+    ys = ys[np.isfinite(ys)]
+    if ys.size == 0:
+        return "(all values non-finite)\n"
+    x_lo, x_hi = _nice_bounds(float(xs.min()), float(xs.max()))
+    y_lo, y_hi = _nice_bounds(float(ys.min()), float(ys.max()))
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, c in enumerate(curves):
+        marker = _MARKERS[ci % len(_MARKERS)]
+        for xv, yv in zip(c.x, c.y):
+            if not (math.isfinite(xv) and math.isfinite(yv)):
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][min(max(col, 0), width - 1)] = marker
+
+    lines: List[str] = []
+    top_label = f"{y_hi:,.6g}"
+    bottom_label = f"{y_lo:,.6g}"
+    label_w = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + "-" * (width + 2))
+    x_axis = f"{x_lo:,.6g}".ljust(width // 2) + f"{x_hi:,.6g}".rjust(width // 2)
+    lines.append(" " * (label_w + 2) + x_axis)
+    if xlabel:
+        lines.append(" " * (label_w + 2) + xlabel.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {c.label}" for i, c in enumerate(curves)
+    )
+    lines.append("")
+    lines.append(f"  legend: {legend}")
+    if ylabel:
+        lines.insert(0, f"  y: {ylabel}")
+    return "\n".join(lines) + "\n"
+
+
+def render_figure(fig: FigureResult, width: int = 72, height: int = 20) -> str:
+    """Full textual rendering of a figure: header, chart, params, notes."""
+    out: List[str] = []
+    out.append("=" * (width + 8))
+    out.append(f"{fig.figure_id}: {fig.title}")
+    out.append("=" * (width + 8))
+    out.append(line_chart(fig.curves, width=width, height=height,
+                          ylabel=fig.ylabel, xlabel=fig.xlabel))
+    if fig.params:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(fig.params.items()))
+        out.append(f"  params: {params}")
+    if fig.notes:
+        out.append(f"  notes: {fig.notes}")
+    return "\n".join(out) + "\n"
+
+
+def render_table(table: TableResult) -> str:
+    """Aligned-columns textual rendering of a table result."""
+    cols = table.columns
+    rows = [[_fmt(r[c]) for c in cols] for r in table.rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rows)) if rows else len(c)
+        for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"{table.table_id}: {table.title}"]
+    out.append(" | ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    out.append(sep)
+    for row in rows:
+        out.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if table.notes:
+        out.append(f"  notes: {table.notes}")
+    return "\n".join(out) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:,.4g}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)

@@ -1,0 +1,124 @@
+"""Figure-result containers shared by the experiment harness.
+
+A :class:`FigureResult` is the in-memory equivalent of one of the paper's
+plots: a set of named curves plus metadata (parameters, scale, notes), with
+CSV export and summary helpers.  The benchmarks assert on these objects and
+the CLI renders them as ASCII charts (:mod:`repro.analysis.ascii_chart`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["Curve", "FigureResult", "TableResult"]
+
+
+@dataclass
+class Curve:
+    """One plotted line: aligned x/y arrays plus a legend label."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"curve {self.label!r}: x{self.x.shape} vs y{self.y.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    def tail_mean(self, fraction: float = 0.5) -> float:
+        """Mean of the trailing ``fraction`` of the curve (steady state)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        k = max(1, int(len(self) * fraction))
+        return float(np.nanmean(self.y[-k:]))
+
+    def final(self) -> float:
+        """Last y value."""
+        if len(self) == 0:
+            raise ValueError(f"curve {self.label!r} is empty")
+        return float(self.y[-1])
+
+
+@dataclass
+class FigureResult:
+    """Reproduction of one paper figure."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    curves: List[Curve] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def curve(self, label: str) -> Curve:
+        """Look up a curve by its legend label."""
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise KeyError(
+            f"{self.figure_id}: no curve {label!r}; have {[c.label for c in self.curves]}"
+        )
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> Curve:
+        """Append a curve and return it."""
+        c = Curve(label=label, x=np.asarray(x, float), y=np.asarray(y, float))
+        self.curves.append(c)
+        return c
+
+    def to_csv(self) -> str:
+        """Long-format CSV (figure, curve, x, y) for external plotting."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["figure", "curve", "x", "y"])
+        for c in self.curves:
+            for xv, yv in zip(c.x, c.y):
+                writer.writerow([self.figure_id, c.label, repr(float(xv)), repr(float(yv))])
+        return buf.getvalue()
+
+
+@dataclass
+class TableResult:
+    """Reproduction of one paper table: ordered rows of named columns."""
+
+    table_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; keys must match the declared columns."""
+        missing = set(self.columns) - set(values)
+        extra = set(values) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"{self.table_id}: row mismatch (missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"{self.table_id}: no column {name!r}")
+        return [r[name] for r in self.rows]
+
+    def to_csv(self) -> str:
+        """CSV export with a header row."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns)
+        writer.writeheader()
+        writer.writerows(self.rows)
+        return buf.getvalue()

@@ -1,0 +1,182 @@
+"""Statistical validation of estimator output.
+
+A comparative study lives or dies on whether observed differences are
+real.  This module provides the statistics the test-suite, benchmarks and
+downstream users apply to :class:`~repro.sim.metrics.EstimateSeries` data:
+
+* :func:`bootstrap_mean_ci` — nonparametric confidence interval for the
+  mean quality of a series (estimator distributions are skewed — Random
+  Tour wildly so — making normal-theory intervals misleading);
+* :func:`bias_test` — one-sample sign test for systematic over/under
+  estimation (the paper's HopsSampling bias claim, made testable without
+  distributional assumptions);
+* :func:`detect_convergence` — first index where a series enters and
+  stays inside a tolerance band (the paper's "converges around 40
+  rounds" measurements);
+* :func:`variance_ratio_test` — bootstrap comparison of two estimators'
+  spread (the paper's "noisier curves" statements).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.rng import RngLike, as_generator
+
+__all__ = [
+    "BootstrapCI",
+    "BiasVerdict",
+    "bootstrap_mean_ci",
+    "bias_test",
+    "detect_convergence",
+    "variance_ratio_test",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval for a mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width (a resolution measure)."""
+        return (self.upper - self.lower) / 2.0
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    rng: RngLike = None,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the mean of ``values``.
+
+    Raises :class:`ValueError` on empty input or a nonsensical confidence
+    level.  NaNs (failed probes in dynamic runs) are dropped first.
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("no finite values to bootstrap")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 100:
+        raise ValueError("resamples must be >= 100")
+    gen = as_generator(rng, "bootstrap")
+    idx = gen.integers(arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mean=float(arr.mean()), lower=float(lo), upper=float(hi),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class BiasVerdict:
+    """Outcome of a sign test for systematic bias."""
+
+    n_below: int
+    n_above: int
+    p_value: float
+    biased_low: bool
+    biased_high: bool
+
+
+def bias_test(
+    qualities: Sequence[float], target: float = 100.0, alpha: float = 0.01
+) -> BiasVerdict:
+    """Two-sided sign test: do the qualities sit systematically off-target?
+
+    Counts points strictly below/above ``target`` (ties dropped) and
+    computes the exact binomial two-sided p-value under the
+    no-bias null (p = 1/2).  ``biased_low``/``biased_high`` are set when
+    the null is rejected at level ``alpha`` in that direction.
+    """
+    arr = np.asarray(qualities, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    below = int((arr < target).sum())
+    above = int((arr > target).sum())
+    n = below + above
+    if n == 0:
+        return BiasVerdict(0, 0, 1.0, False, False)
+    k = min(below, above)
+    # exact two-sided binomial tail: 2 * P[X <= k], capped at 1
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0**n
+    p = min(1.0, 2.0 * tail)
+    return BiasVerdict(
+        n_below=below,
+        n_above=above,
+        p_value=p,
+        biased_low=p < alpha and below > above,
+        biased_high=p < alpha and above > below,
+    )
+
+
+def detect_convergence(
+    series: Sequence[float],
+    target: float = 100.0,
+    tolerance: float = 1.0,
+    hold: int = 3,
+) -> Optional[int]:
+    """First index at which the series enters the ``target ± tolerance``
+    band and stays there for ``hold`` consecutive points (and through the
+    end of the observed window).
+
+    Returns ``None`` if the series never settles.  This is the measurement
+    behind "converges around 40 rounds" (Figs 5-6): a single in-band point
+    during a noisy transient does not count.
+    """
+    arr = np.asarray(series, dtype=float)
+    if hold < 1:
+        raise ValueError("hold must be >= 1")
+    in_band = np.abs(arr - target) <= tolerance
+    for i in range(arr.size):
+        if in_band[i:].all() and (arr.size - i) >= hold:
+            return i
+    return None
+
+
+def variance_ratio_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    rng: RngLike = None,
+) -> Tuple[float, bool]:
+    """Bootstrap test of ``std(a) > std(b)``.
+
+    Returns ``(ratio, significant)`` where ``ratio = std(a)/std(b)`` and
+    ``significant`` is True when the bootstrap lower confidence bound of
+    the ratio exceeds 1 — i.e. *a* is demonstrably noisier than *b*
+    (the paper's HopsSampling-vs-S&C claim).
+    """
+    arr_a = np.asarray(a, dtype=float)
+    arr_b = np.asarray(b, dtype=float)
+    arr_a = arr_a[np.isfinite(arr_a)]
+    arr_b = arr_b[np.isfinite(arr_b)]
+    if arr_a.size < 3 or arr_b.size < 3:
+        raise ValueError("need at least 3 finite points per sample")
+    gen = as_generator(rng, "variance_ratio")
+    ia = gen.integers(arr_a.size, size=(resamples, arr_a.size))
+    ib = gen.integers(arr_b.size, size=(resamples, arr_b.size))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = arr_a[ia].std(axis=1) / np.maximum(arr_b[ib].std(axis=1), 1e-300)
+    alpha = 1.0 - confidence
+    lower = float(np.quantile(ratios, alpha))
+    point = float(arr_a.std() / max(arr_b.std(), 1e-300))
+    return point, lower > 1.0

@@ -1,0 +1,26 @@
+"""Churn substrate: membership-change traces and their application."""
+
+from .models import (
+    ChurnEvent,
+    ChurnTrace,
+    catastrophic_trace,
+    growing_trace,
+    shrinking_trace,
+    steady_churn_trace,
+)
+from .io import TraceFormatError, load_trace, save_trace
+from .scheduler import ChurnLogEntry, ChurnScheduler
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnLogEntry",
+    "ChurnScheduler",
+    "ChurnTrace",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+    "catastrophic_trace",
+    "growing_trace",
+    "shrinking_trace",
+    "steady_churn_trace",
+]

@@ -1,0 +1,98 @@
+"""Churn-trace persistence.
+
+Dynamic experiments are only comparable when every algorithm faces the
+*same* membership schedule; persisting traces lets a schedule be generated
+once (or captured from a real system's join/leave log) and replayed across
+runs, machines and versions.  The format is deliberately boring: one JSON
+object per line (JSONL), one line per :class:`~repro.churn.models.ChurnEvent`,
+with a header line carrying the format version.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, Union
+
+from .models import ChurnEvent, ChurnTrace
+
+__all__ = ["save_trace", "load_trace", "TraceFormatError", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or from an unknown version."""
+
+
+def save_trace(trace: ChurnTrace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in JSONL format (overwrites)."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        _write(trace, fh)
+
+
+def _write(trace: ChurnTrace, fh: IO[str]) -> None:
+    header = {"format": "repro-churn-trace", "version": FORMAT_VERSION,
+              "events": len(trace)}
+    fh.write(json.dumps(header) + "\n")
+    for ev in trace:
+        record = {"time": ev.time}
+        if ev.joins:
+            record["joins"] = ev.joins
+        if ev.leaves:
+            record["leaves"] = ev.leaves
+        if ev.frac_joins:
+            record["frac_joins"] = ev.frac_joins
+        if ev.frac_leaves:
+            record["frac_leaves"] = ev.frac_leaves
+        fh.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: PathLike) -> ChurnTrace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` on bad headers, unknown versions,
+    or malformed event records (with the offending line number).
+    """
+    path = pathlib.Path(path)
+    with path.open("r") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}:1: invalid header: {exc}") from None
+    if header.get("format") != "repro-churn-trace":
+        raise TraceFormatError(f"{path}: not a repro churn trace")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported version {header.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    events = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+            events.append(
+                ChurnEvent(
+                    time=float(rec["time"]),
+                    joins=int(rec.get("joins", 0)),
+                    leaves=int(rec.get("leaves", 0)),
+                    frac_joins=float(rec.get("frac_joins", 0.0)),
+                    frac_leaves=float(rec.get("frac_leaves", 0.0)),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"{path}:{lineno}: bad event: {exc}") from None
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise TraceFormatError(
+            f"{path}: header declares {declared} events, found {len(events)}"
+        )
+    return ChurnTrace(events)

@@ -1,0 +1,125 @@
+"""Applying churn traces to a live overlay.
+
+:class:`ChurnScheduler` binds a :class:`~repro.churn.models.ChurnTrace` to an
+:class:`~repro.overlay.graph.OverlayGraph` through a
+:class:`~repro.overlay.membership.MembershipPolicy`.  It can be driven two
+ways, because the paper's dynamic figures use two different x-axes:
+
+* **round-driven** — subscribe to a :class:`~repro.sim.rounds.RoundDriver`
+  (Aggregation figures 15-17, x-axis "#Round"); churn runs at
+  ``PRIORITY_CHURN`` so the overlay changes *before* the protocol round at
+  the same instant;
+* **probe-driven** — call :meth:`advance_to` manually between estimations
+  (Sample&Collide / HopsSampling figures 9-14, x-axis "number of
+  estimations" / "Time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..overlay.graph import OverlayGraph
+from ..overlay.membership import MembershipPolicy
+from ..sim.rng import RngLike
+from ..sim.rounds import PRIORITY_CHURN, RoundDriver
+from .models import ChurnTrace
+
+__all__ = ["ChurnScheduler", "ChurnLogEntry"]
+
+
+@dataclass(frozen=True)
+class ChurnLogEntry:
+    """One applied membership change, for audit/plotting."""
+
+    time: float
+    joins: int
+    leaves: int
+    size_after: int
+
+
+class ChurnScheduler:
+    """Consumes a trace and mutates the overlay accordingly.
+
+    Parameters
+    ----------
+    graph:
+        Overlay to mutate.
+    trace:
+        The churn schedule; consumed in time order, each event at most once.
+    rng:
+        Random source for victim selection and join wiring.
+    max_degree, min_degree:
+        Degree policy handed to the :class:`MembershipPolicy` for joiners.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        trace: ChurnTrace,
+        rng: RngLike = None,
+        max_degree: int = 10,
+        min_degree: int = 1,
+    ) -> None:
+        self.graph = graph
+        self.trace = trace
+        self.policy = MembershipPolicy(
+            graph, max_degree=max_degree, min_degree=min_degree, rng=rng
+        )
+        self.log: List[ChurnLogEntry] = []
+
+    # ------------------------------------------------------------------
+
+    def advance_to(self, now: float) -> Tuple[int, int]:
+        """Apply every event due at or before ``now``.
+
+        Returns total (joins, leaves) applied by this call.  Fractional
+        events resolve against the population at the moment they fire, so
+        two successive "-25%" events remove 25% then 25%-of-the-remainder,
+        exactly like the paper's Fig 15 staircase.
+        """
+        total_joins = 0
+        total_leaves = 0
+        for ev in self.trace.due(now):
+            joins, leaves = ev.resolve(self.graph.size)
+            if leaves:
+                self.policy.leave(leaves)
+            if joins:
+                self.policy.join(joins)
+            total_joins += joins
+            total_leaves += leaves
+            self.log.append(
+                ChurnLogEntry(
+                    time=ev.time,
+                    joins=joins,
+                    leaves=leaves,
+                    size_after=self.graph.size,
+                )
+            )
+        return total_joins, total_leaves
+
+    def attach(self, driver: RoundDriver) -> None:
+        """Subscribe to a round driver so churn fires automatically.
+
+        The hook runs at ``PRIORITY_CHURN`` (before protocol hooks in the
+        same round).
+        """
+        driver.subscribe(
+            lambda rnd: self.advance_to(float(rnd)),
+            priority=PRIORITY_CHURN,
+            label="churn",
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_events(self) -> int:
+        """Number of trace events applied so far."""
+        return len(self.log)
+
+    def total_applied(self) -> Tuple[int, int]:
+        """Cumulative (joins, leaves) applied so far."""
+        return (
+            sum(e.joins for e in self.log),
+            sum(e.leaves for e in self.log),
+        )

@@ -1,0 +1,91 @@
+"""Size-estimation algorithms — the paper's primary subject matter.
+
+Three candidates (one per class of generic counting approach, §III):
+
+* :class:`SampleCollideEstimator` — random-walk class (inverted birthday
+  paradox on unbiased timer-walk samples);
+* :class:`HopsSamplingEstimator` — probabilistic-polling class
+  (minHopsReporting heuristic);
+* :class:`AggregationProtocol` — epidemic class (push-pull averaging).
+
+Plus the baselines the paper discusses: :class:`InvertedBirthdayEstimator`,
+:class:`RandomTourEstimator` and :class:`GossipSampleEstimator`.
+"""
+
+from .adaptive import (
+    AdaptiveMonitor,
+    EstimationPlan,
+    choose_l,
+    choose_l_for_budget,
+    plan_estimation,
+)
+from .aggregation import AggregationMonitor, AggregationProtocol
+from .base import Estimate, EstimatorError, SizeEstimator
+from .convergence import (
+    aggregation_contraction_rate,
+    aggregation_rounds_needed,
+    epidemic_fixed_point,
+    epidemic_rounds_to_saturation,
+    sample_collide_expected_messages,
+    sample_collide_expected_samples,
+)
+from .birthday import (
+    collision_probability,
+    expected_collisions,
+    expected_draws_for_collisions,
+    expected_first_collision,
+    first_collision_pmf,
+    invert_first_collision,
+    relative_std,
+    sample_collide_estimate,
+)
+from .hops_sampling import GossipSampleEstimator, HopsSamplingEstimator
+from .idspace import (
+    IdentifierSpace,
+    IntervalDensityEstimator,
+    NeighborDistanceEstimator,
+)
+from .random_tour import RandomTourEstimator
+from .registry import available, create, register
+from .sample_collide import InvertedBirthdayEstimator, SampleCollideEstimator
+from .sampling import UniformWalkSampler, WalkBatch
+
+__all__ = [
+    "AdaptiveMonitor",
+    "AggregationMonitor",
+    "AggregationProtocol",
+    "Estimate",
+    "EstimationPlan",
+    "EstimatorError",
+    "GossipSampleEstimator",
+    "HopsSamplingEstimator",
+    "IdentifierSpace",
+    "IntervalDensityEstimator",
+    "InvertedBirthdayEstimator",
+    "NeighborDistanceEstimator",
+    "RandomTourEstimator",
+    "SampleCollideEstimator",
+    "SizeEstimator",
+    "UniformWalkSampler",
+    "WalkBatch",
+    "aggregation_contraction_rate",
+    "aggregation_rounds_needed",
+    "available",
+    "choose_l",
+    "choose_l_for_budget",
+    "plan_estimation",
+    "collision_probability",
+    "create",
+    "epidemic_fixed_point",
+    "epidemic_rounds_to_saturation",
+    "expected_collisions",
+    "expected_draws_for_collisions",
+    "expected_first_collision",
+    "first_collision_pmf",
+    "invert_first_collision",
+    "register",
+    "relative_std",
+    "sample_collide_estimate",
+    "sample_collide_expected_messages",
+    "sample_collide_expected_samples",
+]

@@ -1,0 +1,208 @@
+"""Adaptive configuration — turning §V's tradeoff discussion into an API.
+
+The paper closes with: "A strength of this algorithm [Sample&Collide] is
+thus to adapt to the application performance needs by simply modifying one
+parameter."  This module operationalizes that: a user states an accuracy
+or budget target and gets the parameter and the projected cost back, plus
+a self-tuning monitor that keeps a running estimate at a target accuracy
+while the overlay churns.
+
+* :func:`choose_l` — smallest collision target achieving a requested
+  one-shot relative standard deviation (``rel_std ≈ 1/sqrt(l)``).
+* :func:`choose_l_for_budget` — largest ``l`` whose projected message cost
+  fits a per-estimation budget (cost model
+  ``sqrt(2·l·N̂)·(T·d̄+1)``, validated against Table I).
+* :func:`plan_estimation` — compare all three candidates for a target and
+  report the cheapest that meets it (the §V decision table as a function).
+* :class:`AdaptiveMonitor` — continuous Sample&Collide monitoring that
+  re-tunes ``l`` from its own running size estimate as the overlay grows
+  or shrinks, so the *relative* accuracy stays constant under churn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..overlay.graph import OverlayGraph
+from ..sim.messages import MessageMeter
+from ..sim.metrics import RollingAverage
+from ..sim.rng import RngLike, as_generator
+from .base import Estimate
+from .sample_collide import SampleCollideEstimator
+
+__all__ = [
+    "choose_l",
+    "choose_l_for_budget",
+    "EstimationPlan",
+    "plan_estimation",
+    "AdaptiveMonitor",
+]
+
+
+def choose_l(target_rel_std: float, l_max: int = 100_000) -> int:
+    """Smallest ``l`` with one-shot relative std <= ``target_rel_std``.
+
+    Inverts ``rel_std ≈ 1/sqrt(l)`` (see :func:`repro.core.birthday.relative_std`).
+    """
+    if not (0.0 < target_rel_std < 10.0):
+        raise ValueError(f"target_rel_std out of range: {target_rel_std}")
+    l = math.ceil(1.0 / target_rel_std**2)
+    if l > l_max:
+        raise ValueError(
+            f"target {target_rel_std:.4f} needs l={l} > l_max={l_max}"
+        )
+    return max(l, 1)
+
+
+def choose_l_for_budget(
+    budget_messages: int,
+    size_hint: int,
+    timer: float = 10.0,
+    avg_degree: float = 7.2,
+) -> int:
+    """Largest ``l`` whose projected per-estimation cost fits the budget.
+
+    Cost model: ``sqrt(2·l·N) · (T·d̄ + 1)`` messages (validated against the
+    paper's Table I in the overhead benchmarks).  Returns at least 1; a
+    budget too small even for l=1 raises.
+    """
+    if budget_messages < 1:
+        raise ValueError("budget must be >= 1 message")
+    if size_hint < 1:
+        raise ValueError("size_hint must be >= 1")
+    per_sample = timer * avg_degree + 1.0
+    samples_affordable = budget_messages / per_sample
+    l = math.floor(samples_affordable**2 / (2.0 * size_hint))
+    if l < 1:
+        raise ValueError(
+            f"budget of {budget_messages} messages cannot fund even l=1 "
+            f"(needs ≈{math.ceil(math.sqrt(2 * size_hint) * per_sample)})"
+        )
+    return l
+
+
+@dataclass(frozen=True)
+class EstimationPlan:
+    """Recommended configuration for a stated accuracy target."""
+
+    algorithm: str
+    parameters: dict
+    projected_messages: float
+    projected_rel_error: float
+    rationale: str
+
+
+def plan_estimation(
+    size_hint: int,
+    target_rel_error: float,
+    timer: float = 10.0,
+    avg_degree: float = 7.2,
+    aggregation_rounds: int = 50,
+) -> EstimationPlan:
+    """Pick the cheapest candidate meeting ``target_rel_error`` (§V logic).
+
+    Considers Sample&Collide (cost ``sqrt(2lN)·(T·d̄+1)``, error
+    ``1/sqrt(l)``) and Aggregation (cost ``2·N·rounds``, error ≈0 after
+    convergence).  HopsSampling is excluded from *accuracy-targeted*
+    plans because its reach bias (≈ −10%) is not tunable — matching the
+    paper's conclusion that it competes on delay, not accuracy.
+    """
+    if size_hint < 1:
+        raise ValueError("size_hint must be >= 1")
+    if not (0.0 < target_rel_error < 1.0):
+        raise ValueError("target_rel_error must be in (0, 1)")
+    agg_cost = 2.0 * size_hint * aggregation_rounds
+    try:
+        l = choose_l(target_rel_error)
+        sc_cost = math.sqrt(2.0 * l * size_hint) * (timer * avg_degree + 1.0)
+    except ValueError:
+        l, sc_cost = None, math.inf
+    if sc_cost <= agg_cost:
+        return EstimationPlan(
+            algorithm="sample_collide",
+            parameters={"l": l, "timer": timer},
+            projected_messages=sc_cost,
+            projected_rel_error=1.0 / math.sqrt(l),
+            rationale=(
+                f"S&C with l={l} meets {target_rel_error:.1%} at "
+                f"~{sc_cost:,.0f} msgs vs Aggregation's {agg_cost:,.0f}"
+            ),
+        )
+    return EstimationPlan(
+        algorithm="aggregation",
+        parameters={"rounds": aggregation_rounds},
+        projected_messages=agg_cost,
+        projected_rel_error=0.0,
+        rationale=(
+            f"target {target_rel_error:.1%} needs l={l} costing "
+            f"~{sc_cost:,.0f} msgs; Aggregation is exact for {agg_cost:,.0f}"
+        ),
+    )
+
+
+class AdaptiveMonitor:
+    """Self-tuning continuous Sample&Collide monitor.
+
+    Maintains a rolling size estimate and re-derives ``l`` before each probe
+    from the stated accuracy target and the *current* estimate, so that the
+    accuracy target keeps holding as the overlay grows or shrinks (the cost
+    auto-scales as sqrt(N̂)).
+
+    Parameters
+    ----------
+    graph:
+        The (possibly churning) overlay.
+    target_rel_std:
+        One-shot accuracy target (e.g. 0.07 == l≈200).
+    window:
+        last-k-runs smoothing applied to the exposed estimate.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        target_rel_std: float = 0.1,
+        timer: float = 10.0,
+        window: int = 10,
+        rng: RngLike = None,
+        meter: Optional[MessageMeter] = None,
+    ) -> None:
+        self.graph = graph
+        self.l = choose_l(target_rel_std)
+        self.timer = float(timer)
+        self.rng = as_generator(rng, "adaptive")
+        self.meter = meter if meter is not None else MessageMeter()
+        self._roll = RollingAverage(window)
+        self.history: List[Estimate] = []
+
+    @property
+    def current_estimate(self) -> float:
+        """Smoothed running size estimate (NaN before the first probe)."""
+        return self._roll.mean
+
+    def probe(self) -> Estimate:
+        """Run one estimation, feed the smoother, adapt the batch hint."""
+        hint = self.current_estimate
+        est = SampleCollideEstimator(
+            self.graph,
+            l=self.l,
+            timer=self.timer,
+            rng=self.rng,
+            meter=self.meter,
+            batch_hint=int(hint) if hint == hint and hint >= 1 else None,
+        ).estimate()
+        self._roll.push(est.value)
+        self.history.append(est)
+        return est
+
+    def probe_many(self, count: int) -> List[Estimate]:
+        """Run ``count`` successive probes (convenience for monitors)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.probe() for _ in range(count)]
+
+    def total_cost(self) -> int:
+        """Messages spent by all probes so far."""
+        return self.meter.total

@@ -1,0 +1,70 @@
+"""Name-based estimator factory.
+
+Experiment configs and the CLI refer to algorithms by short names; this
+registry maps them to constructors.  Third-party estimators can register
+themselves via :func:`register` (the extension point a downstream user of
+the library would reach for first).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..overlay.graph import OverlayGraph
+from .aggregation import AggregationProtocol
+from .hops_sampling import GossipSampleEstimator, HopsSamplingEstimator
+from .random_tour import RandomTourEstimator
+from .sample_collide import InvertedBirthdayEstimator, SampleCollideEstimator
+
+__all__ = ["register", "create", "available", "RegistryError"]
+
+
+class RegistryError(KeyError):
+    """Unknown estimator name."""
+
+
+_FACTORIES: Dict[str, Callable[..., Any]] = {}
+
+
+def register(name: str, factory: Callable[..., Any], overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``factory(graph, **kwargs)`` must return an object with an
+    ``estimate()`` method.  Re-registration requires ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("estimator name must be a non-empty string")
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(f"estimator {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def create(name: str, graph: OverlayGraph, **kwargs: Any):
+    """Instantiate the estimator registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown estimator {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(graph, **kwargs)
+
+
+def available() -> List[str]:
+    """Sorted list of registered estimator names."""
+    return sorted(_FACTORIES)
+
+
+# Built-in algorithms of the study.
+register("sample_collide", SampleCollideEstimator)
+register("inverted_birthday", InvertedBirthdayEstimator)
+register("random_tour", RandomTourEstimator)
+register("hops_sampling", HopsSamplingEstimator)
+register("gossip_sample", GossipSampleEstimator)
+register("aggregation", AggregationProtocol)
+
+# Structured-overlay extras (id-uniformity-dependent; §II background class).
+from .idspace import IntervalDensityEstimator, NeighborDistanceEstimator  # noqa: E402
+
+register("interval_density", IntervalDensityEstimator)
+register("neighbor_distance", NeighborDistanceEstimator)

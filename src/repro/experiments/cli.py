@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate any figure or table of the paper.
+
+Examples
+--------
+Run Fig 1 at the default scale and print the ASCII chart::
+
+    repro-experiment fig1
+
+Run Table I at the small (benchmark) scale and save CSVs::
+
+    repro-experiment table1 --scale small --csv-dir results/
+
+Run everything (can take a while at default scale)::
+
+    repro-experiment all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from ..analysis.ascii_chart import render_figure, render_table
+from ..analysis.curves import FigureResult, TableResult
+from . import FIGURES, TABLES
+from .config import SCALES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate figures/tables from 'Peer to peer size estimation in "
+            "large and dynamic networks: A comparative study' (HPDC 2006)."
+        ),
+    )
+    targets = sorted(FIGURES) + sorted(TABLES) + ["all", "list"]
+    parser.add_argument(
+        "target",
+        choices=targets,
+        help="experiment to run ('list' prints the catalogue, 'all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="scale preset (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed override")
+    parser.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write per-experiment CSV files into",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress chart rendering (CSV only)"
+    )
+    return parser
+
+
+def _run_one(name: str, args) -> object:
+    fn = FIGURES.get(name) or TABLES.get(name)
+    start = time.perf_counter()
+    result = fn(scale=args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    if not args.quiet:
+        if isinstance(result, FigureResult):
+            sys.stdout.write(render_figure(result))
+        elif isinstance(result, TableResult):
+            sys.stdout.write(render_table(result))
+        sys.stdout.write(f"  [{name} completed in {elapsed:.1f}s]\n\n")
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        out = args.csv_dir / f"{name}.csv"
+        out.write_text(result.to_csv())
+        if not args.quiet:
+            sys.stdout.write(f"  wrote {out}\n")
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        sys.stdout.write("figures: " + " ".join(sorted(FIGURES)) + "\n")
+        sys.stdout.write("tables:  " + " ".join(sorted(TABLES)) + "\n")
+        return 0
+    names = (
+        sorted(FIGURES) + sorted(TABLES) if args.target == "all" else [args.target]
+    )
+    for name in names:
+        _run_one(name, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Experiment scale presets and configuration.
+
+The paper's evaluation runs at 100,000 and 1,000,000 nodes.  Those scales
+are *supported* by this package, but pure-Python wall-clock makes them
+impractical as defaults (the repro calibration explicitly flags
+"slow for million-node churn sims").  Every experiment therefore accepts a
+:class:`Scale`, with three presets:
+
+=========  ==========================  ====================================
+preset     sizes (100k / 1M figures)   intent
+=========  ==========================  ====================================
+``small``  5,000 / 10,000              benchmarks & CI — seconds per figure
+``default`` 20,000 / 50,000            interactive runs — a few minutes total
+``paper``  100,000 / 1,000,000         full fidelity — hours; use overnight
+=========  ==========================  ====================================
+
+The accuracy *shape* of every algorithm is scale-free in ``N`` (S&C error
+depends only on ``l``; Aggregation's convergence round count grows with
+``log N``; HopsSampling's coverage is set by the fanout), which is what
+makes the scaled-down defaults faithful.  EXPERIMENTS.md records which
+scale produced each reported number.
+
+Select a preset globally with the environment variable ``REPRO_SCALE``
+(``small`` | ``default`` | ``paper``) or per-call via the ``scale=``
+argument of the figure functions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = ["Scale", "SCALES", "resolve_scale", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Concrete sizes/horizons for one preset."""
+
+    name: str
+    #: Node count standing in for the paper's 100,000-node experiments.
+    n_100k: int
+    #: Node count standing in for the paper's 1,000,000-node experiments.
+    n_1m: int
+    #: Estimations per static series (paper: 100 at "100k", ~18-20 at "1M").
+    static_estimations: int
+    static_estimations_1m: int
+    #: Rounds plotted for the Aggregation static figures (paper: 100).
+    aggregation_rounds: int
+    #: Round horizon for the Aggregation dynamic figures (paper: 10,000).
+    aggregation_horizon: int
+    #: Estimations for the probe-style dynamic figures (paper: 100).
+    dynamic_estimations: int
+    #: Aggregation restart interval in rounds.  The paper uses 50, its
+    #: ≈99%-convergence point at 10⁶ nodes; convergence time scales with
+    #: log N, so smaller presets shrink the interval proportionally to
+    #: keep the epoch equally *tight* — that tightness is what produces
+    #: Fig 17's breakdown under shrinkage.
+    restart_interval: int = 50
+
+    def scaled_events(self, *times: float) -> tuple:
+        """Rescale paper event times (given on the 10,000-round horizon)
+        onto this preset's ``aggregation_horizon``."""
+        f = self.aggregation_horizon / 10_000.0
+        return tuple(max(1.0, round(t * f)) for t in times)
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale(
+        name="small",
+        n_100k=5_000,
+        n_1m=10_000,
+        static_estimations=40,
+        static_estimations_1m=18,
+        aggregation_rounds=60,
+        aggregation_horizon=1_000,
+        dynamic_estimations=40,
+        restart_interval=30,
+    ),
+    "default": Scale(
+        name="default",
+        n_100k=20_000,
+        n_1m=50_000,
+        static_estimations=100,
+        static_estimations_1m=18,
+        aggregation_rounds=100,
+        aggregation_horizon=2_000,
+        dynamic_estimations=100,
+        restart_interval=35,
+    ),
+    "paper": Scale(
+        name="paper",
+        n_100k=100_000,
+        n_1m=1_000_000,
+        static_estimations=100,
+        static_estimations_1m=18,
+        aggregation_rounds=100,
+        aggregation_horizon=10_000,
+        dynamic_estimations=100,
+    ),
+}
+
+
+def resolve_scale(scale: Optional[object] = None) -> Scale:
+    """Resolve a preset name / Scale / None (env, then ``default``)."""
+    if isinstance(scale, Scale):
+        return scale
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "default")
+    name = str(scale).lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for one experiment run."""
+
+    seed: int = 20060619  # HPDC-15 opening day
+    scale: Scale = field(default_factory=lambda: resolve_scale("default"))
+    max_degree: int = 10
+    min_degree: int = 1
+    sc_l: int = 200
+    sc_timer: float = 10.0
+    hops_fanout: int = 2
+    hops_min_reporting: int = 5
+    last_runs_window: int = 10
+
+    def with_scale(self, scale: object) -> "ExperimentConfig":
+        """Copy with a different scale preset."""
+        return replace(self, scale=resolve_scale(scale))

@@ -1,0 +1,360 @@
+"""Dynamic-context figures: 9-17 (§IV-D).
+
+Three churn scenarios on the heterogeneous overlay — catastrophic failures,
+steady growth (+50%), steady shrinkage (−50%) — against each candidate:
+
+* Figs 9-11  — Sample&Collide, oneShot, probing perpetually;
+* Figs 12-14 — HopsSampling, last10runs, restarted per estimation;
+* Figs 15-17 — Aggregation monitor with 50-round restart epochs.
+
+The y-axis is the raw estimated size against the true (moving) size; each
+figure carries three independent estimation streams over the *same*
+evolving overlay, as in the paper's plots (Estimation #1/#2/#3 + Real size).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis.curves import FigureResult
+from ..churn.models import (
+    ChurnTrace,
+    catastrophic_trace,
+    growing_trace,
+    shrinking_trace,
+)
+from ..churn.scheduler import ChurnScheduler
+from ..core.base import EstimatorError
+from ..core.hops_sampling import HopsSamplingEstimator
+from ..core.sample_collide import SampleCollideEstimator
+from ..sim.metrics import EstimateSeries, RollingAverage
+from ..sim.rng import RngHub
+from .config import ExperimentConfig, resolve_scale
+from .runner import aggregation_dynamic, build_overlay
+
+__all__ = [
+    "fig09_sc_catastrophic",
+    "fig10_sc_growing",
+    "fig11_sc_shrinking",
+    "fig12_hops_catastrophic",
+    "fig13_hops_growing",
+    "fig14_hops_shrinking",
+    "fig15_agg_failures",
+    "fig16_agg_growing",
+    "fig17_agg_shrinking",
+]
+
+_STREAMS = 3  # the paper plots Estimation #1..#3
+
+
+def _probe_trace(kind: str, n: int, count: int) -> ChurnTrace:
+    """Churn schedule for the probe-style figures, on a 1..count timeline."""
+    if kind == "catastrophic":
+        return catastrophic_trace(
+            failure_times=(count / 3.0, 2.0 * count / 3.0),
+            failure_fraction=0.25,
+            rejoin_time=None,
+            rejoin_count=0,
+        )
+    if kind == "growing":
+        return growing_trace(n, 0.5, start=1.0, end=float(count), steps=count - 1)
+    if kind == "shrinking":
+        return shrinking_trace(n, 0.5, start=1.0, end=float(count), steps=count - 1)
+    raise ValueError(f"unknown scenario {kind!r}")
+
+
+def _multi_probe_figure(
+    figure_id: str,
+    title: str,
+    scenario: str,
+    make_estimator: Callable,
+    cfg: ExperimentConfig,
+    smooth_window: int = 0,
+    notes: str = "",
+) -> FigureResult:
+    """Run _STREAMS estimator streams over one churning overlay."""
+    hub = RngHub(cfg.seed).child(figure_id)
+    n = cfg.scale.n_100k
+    count = cfg.scale.dynamic_estimations
+    graph = build_overlay(cfg, n, hub)
+    trace = _probe_trace(scenario, n, count)
+    scheduler = ChurnScheduler(
+        graph, trace, rng=hub.stream("churn"), max_degree=cfg.max_degree
+    )
+
+    streams = [EstimateSeries(name=f"Estimation #{k + 1}") for k in range(_STREAMS)]
+    smoothers = [RollingAverage(smooth_window) if smooth_window else None
+                 for _ in range(_STREAMS)]
+    for i in range(1, count + 1):
+        scheduler.advance_to(float(i))
+        if graph.size == 0:
+            break
+        for k, series in enumerate(streams):
+            try:
+                est = make_estimator(graph, hub.child(f"s{k}r{i}")).estimate()
+                value = est.value
+            except EstimatorError:
+                value = float("nan")
+            if smoothers[k] is not None and value == value:  # skip NaN
+                value = smoothers[k].push(value)
+            series.append(i, value, graph.size)
+
+    fig = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        xlabel="Number of estimations",
+        ylabel="Estimated size",
+        params={
+            "n0": n,
+            "count": count,
+            "scenario": scenario,
+            "scale": cfg.scale.name,
+            "smooth_window": smooth_window,
+        },
+        notes=notes,
+    )
+    fig.add("Real network size", streams[0].x, streams[0].true_sizes)
+    for series in streams:
+        fig.add(series.name, series.x, series.estimates)
+    return fig
+
+
+def _cfg(scale, seed) -> ExperimentConfig:
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Sample&Collide, Figs 9-11 — oneShot heuristic
+# ----------------------------------------------------------------------
+
+
+def _sc(cfg: ExperimentConfig):
+    def make(graph, hub: RngHub):
+        return SampleCollideEstimator(
+            graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.stream("sc")
+        )
+
+    return make
+
+
+def fig09_sc_catastrophic(scale=None, seed=None) -> FigureResult:
+    """Fig 9: S&C oneShot under two −25% catastrophic failures.
+
+    Expected shape: tracks the drops immediately (no memory)."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig09",
+        "Sample&Collide oneShot under catastrophic failures",
+        "catastrophic",
+        _sc(cfg),
+        cfg,
+        notes="paper: reacts very well to brutal size changes",
+    )
+
+
+def fig10_sc_growing(scale=None, seed=None) -> FigureResult:
+    """Fig 10: S&C oneShot on a +50% growing overlay."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig10",
+        "Sample&Collide oneShot, growing network (+50%)",
+        "growing",
+        _sc(cfg),
+        cfg,
+        notes="paper: estimation follows the real size closely",
+    )
+
+
+def fig11_sc_shrinking(scale=None, seed=None) -> FigureResult:
+    """Fig 11: S&C oneShot on a −50% shrinking overlay."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig11",
+        "Sample&Collide oneShot, shrinking network (-50%)",
+        "shrinking",
+        _sc(cfg),
+        cfg,
+        notes="paper: reliable despite overlay connectivity degradation",
+    )
+
+
+# ----------------------------------------------------------------------
+# HopsSampling, Figs 12-14 — last10runs heuristic
+# ----------------------------------------------------------------------
+
+
+def _hops(cfg: ExperimentConfig):
+    def make(graph, hub: RngHub):
+        return HopsSamplingEstimator(
+            graph,
+            gossip_to=cfg.hops_fanout,
+            min_hops_reporting=cfg.hops_min_reporting,
+            rng=hub.stream("hops"),
+        )
+
+    return make
+
+
+def fig12_hops_catastrophic(scale=None, seed=None) -> FigureResult:
+    """Fig 12: HopsSampling last10runs under catastrophic failures.
+
+    Expected shape: follows the drops with the smoothing window's lag,
+    slightly under-estimated, more variance than S&C."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig12",
+        "HopsSampling last10runs under catastrophic failures",
+        "catastrophic",
+        _hops(cfg),
+        cfg,
+        smooth_window=cfg.last_runs_window,
+        notes="paper: good behaviour; slight under-estimate; lags by the averaging window",
+    )
+
+
+def fig13_hops_growing(scale=None, seed=None) -> FigureResult:
+    """Fig 13: HopsSampling last10runs on a +50% growing overlay."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig13",
+        "HopsSampling last10runs, growing network (+50%)",
+        "growing",
+        _hops(cfg),
+        cfg,
+        smooth_window=cfg.last_runs_window,
+        notes="paper: follows growth, stays slightly under the real size",
+    )
+
+
+def fig14_hops_shrinking(scale=None, seed=None) -> FigureResult:
+    """Fig 14: HopsSampling last10runs on a −50% shrinking overlay."""
+    cfg = _cfg(scale, seed)
+    return _multi_probe_figure(
+        "fig14",
+        "HopsSampling last10runs, shrinking network (-50%)",
+        "shrinking",
+        _hops(cfg),
+        cfg,
+        smooth_window=cfg.last_runs_window,
+        notes="paper: tracks the shrink; higher variation than S&C",
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation, Figs 15-17 — continuous monitor, 50-round restarts
+# ----------------------------------------------------------------------
+
+
+def _agg_figure(
+    figure_id: str,
+    title: str,
+    trace_factory: Callable[[int], ChurnTrace],
+    cfg: ExperimentConfig,
+    notes: str,
+) -> FigureResult:
+    hub = RngHub(cfg.seed).child(figure_id)
+    n = cfg.scale.n_100k
+    horizon = cfg.scale.aggregation_horizon
+    series_list, failures = aggregation_dynamic(
+        cfg, n, trace_factory, horizon, hub, runs=_STREAMS
+    )
+    fig = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        xlabel="#Round",
+        ylabel="Estimated size",
+        params={
+            "n0": n,
+            "horizon": horizon,
+            "restart_interval": cfg.scale.restart_interval,
+            "failed_epochs": failures,
+            "scale": cfg.scale.name,
+        },
+        notes=notes,
+    )
+    fig.add("Real size", series_list[0].x, series_list[0].true_sizes)
+    for k, series in enumerate(series_list, start=1):
+        fig.add(f"Estimation #{k}", series.x, series.estimates)
+    return fig
+
+
+def fig15_agg_failures(scale=None, seed=None) -> FigureResult:
+    """Fig 15: Aggregation under catastrophic failures.
+
+    Paper schedule (on the 10,000-round horizon): −25% at rounds 100 and
+    500, +25% of the initial size back at round 700 — rescaled onto this
+    preset's horizon.  Expected shape: the estimate is a staircase lagging
+    one restart epoch; each −25% shows the conservative effect until the
+    next restart."""
+    cfg = _cfg(scale, seed)
+    t1, t2, t3 = cfg.scale.scaled_events(100.0, 500.0, 700.0)
+
+    def trace(n0: int) -> ChurnTrace:
+        return catastrophic_trace(
+            failure_times=(t1, t2),
+            failure_fraction=0.25,
+            rejoin_time=t3,
+            rejoin_count=n0 // 4,
+        )
+
+    return _agg_figure(
+        "fig15",
+        "Aggregation monitor under catastrophic failures",
+        trace,
+        cfg,
+        notes="paper: reasonable until ~30% cumulative departures; lag = one epoch",
+    )
+
+
+def fig16_agg_growing(scale=None, seed=None) -> FigureResult:
+    """Fig 16: Aggregation on a +50% growing overlay.
+
+    Expected shape: good adaptation — joiners enter epochs at value 0,
+    which preserves mass, so even within an epoch the average tracks
+    1/N(t)."""
+    cfg = _cfg(scale, seed)
+    horizon = cfg.scale.aggregation_horizon
+
+    # "Constant arrivals" discretized to one batch per ~10 rounds: at
+    # ≤0.5% of the population per batch this is indistinguishable from
+    # per-round churn for 50-round epochs, and it keeps overlay-snapshot
+    # rebuilds off the critical path.
+    def trace(n0: int) -> ChurnTrace:
+        return growing_trace(
+            n0, 0.5, start=1.0, end=float(horizon), steps=max(horizon // 10, 10)
+        )
+
+    return _agg_figure(
+        "fig16",
+        "Aggregation monitor, growing network (+50%)",
+        trace,
+        cfg,
+        notes="paper: fairly good adaptation to growth",
+    )
+
+
+def fig17_agg_shrinking(scale=None, seed=None) -> FigureResult:
+    """Fig 17: Aggregation on a −50% shrinking overlay.
+
+    Expected shape: tracks with epoch lag until cumulative departures
+    (~30%) fragment the unrepai­red overlay; then epochs stop converging and
+    estimates go wild — the paper's headline failure mode."""
+    cfg = _cfg(scale, seed)
+    horizon = cfg.scale.aggregation_horizon
+
+    # Same ~10-round discretization of "constant departures" as fig16.
+    def trace(n0: int) -> ChurnTrace:
+        return shrinking_trace(
+            n0, 0.5, start=1.0, end=float(horizon), steps=max(horizon // 10, 10)
+        )
+
+    return _agg_figure(
+        "fig17",
+        "Aggregation monitor, shrinking network (-50%)",
+        trace,
+        cfg,
+        notes="paper: degrades past ~30% departures (overlay loses connectivity)",
+    )

@@ -1,0 +1,112 @@
+"""Structured-vs-unstructured ablation: id-density estimators head-to-head.
+
+The paper's §I motivates its scope by noting that identifier-density
+methods "provide good approximation of the system size" but "their
+applicability is strictly limited to those identifier-based overlay
+networks".  With the :mod:`repro.core.idspace` substrate in the library we
+can put numbers on the trade the paper describes in words: on a DHT-style
+overlay (uniform ids available), how much cheaper is the structured
+approach than the general-purpose candidates — and what happens to it when
+the id-uniformity assumption breaks (a skewed assignment, e.g. geographic
+clustering or an adversarial join pattern)?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.curves import TableResult
+from ..core.idspace import IdentifierSpace, IntervalDensityEstimator
+from ..core.sample_collide import SampleCollideEstimator
+from ..sim.rng import RngHub
+from .config import ExperimentConfig, resolve_scale
+from .runner import build_overlay
+
+__all__ = ["idspace_comparison"]
+
+
+def _skewed_space(graph, rng) -> IdentifierSpace:
+    """An id assignment violating uniformity: ids concentrated by x^3."""
+    space = IdentifierSpace(graph, rng=rng)
+    for u in graph.nodes():
+        _ = space.id_of(u)
+    # overwrite with a cubed transform: density piles up near 0
+    space._ids = {u: (pos**3) for u, pos in space._ids.items()}
+    space._stale = True
+    return space
+
+
+def idspace_comparison(
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    repetitions: int = 12,
+) -> TableResult:
+    """Interval-density (uniform and skewed ids) vs Sample&Collide."""
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    hub = RngHub(cfg.seed).child("idspace")
+    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
+    true = graph.size
+
+    table = TableResult(
+        table_id="ablation_idspace",
+        title=f"Structured (id-density) vs unstructured estimation (n={true})",
+        columns=["estimator", "assumption", "mean_messages", "mean_abs_error_pct"],
+        notes=(
+            "paper section I: id-density methods are accurate but 'strictly "
+            "limited to identifier-based overlay networks'; skewed ids break them"
+        ),
+    )
+
+    # interval density with honest uniform ids (k chosen to match S&C's
+    # l=200 accuracy: both invert an order statistic, error ~ 1/sqrt(k))
+    k = cfg.sc_l
+    uniform_space = IdentifierSpace(graph, rng=hub.stream("ids"))
+    errs, msgs = [], []
+    for _ in range(repetitions):
+        est = IntervalDensityEstimator(
+            graph, space=uniform_space, k=k, rng=hub.fresh("idu")
+        ).estimate()
+        errs.append(abs(100.0 * est.value / true - 100.0))
+        msgs.append(est.messages)
+    table.add_row(
+        estimator=f"IntervalDensity (k={k})",
+        assumption="uniform ids (DHT)",
+        mean_messages=int(np.mean(msgs)),
+        mean_abs_error_pct=round(float(np.mean(errs)), 2),
+    )
+
+    # the same estimator under a skewed id assignment
+    skewed = _skewed_space(graph, hub.stream("ids_skew"))
+    errs, msgs = [], []
+    for _ in range(repetitions):
+        est = IntervalDensityEstimator(
+            graph, space=skewed, k=k, rng=hub.fresh("ids_skew_est")
+        ).estimate()
+        errs.append(abs(100.0 * est.value / true - 100.0))
+        msgs.append(est.messages)
+    table.add_row(
+        estimator=f"IntervalDensity (k={k})",
+        assumption="skewed ids (broken)",
+        mean_messages=int(np.mean(msgs)),
+        mean_abs_error_pct=round(float(np.mean(errs)), 2),
+    )
+
+    # the general-purpose candidate, no assumptions
+    errs, msgs = [], []
+    for _ in range(repetitions):
+        est = SampleCollideEstimator(
+            graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.fresh("sc")
+        ).estimate()
+        errs.append(abs(100.0 * est.value / true - 100.0))
+        msgs.append(est.messages)
+    table.add_row(
+        estimator=f"Sample&Collide (l={cfg.sc_l})",
+        assumption="none (any overlay)",
+        mean_messages=int(np.mean(msgs)),
+        mean_abs_error_pct=round(float(np.mean(errs)), 2),
+    )
+    return table

@@ -1,0 +1,184 @@
+"""Shared experiment machinery: overlay setup and series runners.
+
+Each paper figure is "run algorithm X on overlay Y under churn Z and log a
+series"; this module provides those three verbs so the per-figure functions
+in :mod:`repro.experiments.figures` stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..churn.models import ChurnTrace
+from ..churn.scheduler import ChurnScheduler
+from ..core.aggregation import AggregationMonitor, AggregationProtocol
+from ..core.base import Estimate, EstimatorError, SizeEstimator
+from ..overlay.builders import heterogeneous_random, scale_free
+from ..overlay.graph import OverlayGraph
+from ..sim.metrics import EstimateSeries
+from ..sim.rng import RngHub
+from ..sim.rounds import RoundDriver
+from .config import ExperimentConfig
+
+__all__ = [
+    "build_overlay",
+    "build_scale_free_overlay",
+    "static_probe_series",
+    "dynamic_probe_series",
+    "aggregation_convergence",
+    "aggregation_dynamic",
+]
+
+EstimatorFactory = Callable[[OverlayGraph, RngHub], SizeEstimator]
+
+
+def build_overlay(cfg: ExperimentConfig, n: int, hub: RngHub) -> OverlayGraph:
+    """The paper's standard heterogeneous random overlay at size ``n``."""
+    return heterogeneous_random(
+        n,
+        max_degree=cfg.max_degree,
+        min_degree=cfg.min_degree,
+        rng=hub.stream("overlay"),
+    )
+
+
+def build_scale_free_overlay(n: int, hub: RngHub, m: int = 3) -> OverlayGraph:
+    """The Fig 7/8 Barabási–Albert overlay (min degree 3)."""
+    return scale_free(n, m=m, rng=hub.stream("overlay.sf"))
+
+
+def static_probe_series(
+    factory: EstimatorFactory,
+    graph: OverlayGraph,
+    count: int,
+    hub: RngHub,
+    label: str = "",
+) -> EstimateSeries:
+    """Run ``count`` independent one-shot estimations on a static overlay.
+
+    Matches the static figures' procedure: the estimator is re-instantiated
+    per run with a fresh RNG lineage (a new random initiator each time), and
+    the one-shot estimates are logged against the estimation index.
+    The *last10runs* curves are derived later via
+    :meth:`~repro.sim.metrics.EstimateSeries.rolling_qualities`.
+    """
+    series = EstimateSeries(name=label)
+    for i in range(1, count + 1):
+        est = factory(graph, hub.child(f"run{i}")).estimate()
+        series.append(i, est.value, graph.size)
+    return series
+
+
+def dynamic_probe_series(
+    factory: EstimatorFactory,
+    graph: OverlayGraph,
+    trace: ChurnTrace,
+    count: int,
+    hub: RngHub,
+    label: str = "",
+    time_per_estimation: float = 1.0,
+    max_degree: int = 10,
+) -> EstimateSeries:
+    """Probe-style estimations interleaved with churn (Figs 9-14).
+
+    Before estimation ``i`` the churn trace is advanced to time
+    ``i·time_per_estimation`` (the paper's probes run "perpetually in order
+    to track size variations").  Estimations that fail because the overlay
+    degraded under the probe (e.g. the walk got stuck) are recorded as NaN
+    rather than aborting the series — a real monitor would simply miss that
+    sample.
+    """
+    scheduler = ChurnScheduler(
+        graph, trace, rng=hub.stream("churn"), max_degree=max_degree
+    )
+    series = EstimateSeries(name=label)
+    for i in range(1, count + 1):
+        scheduler.advance_to(i * time_per_estimation)
+        if graph.size == 0:
+            break
+        try:
+            est = factory(graph, hub.child(f"run{i}")).estimate()
+            value = est.value
+        except EstimatorError:
+            value = float("nan")
+        series.append(i, value, graph.size)
+    return series
+
+
+def aggregation_convergence(
+    graph: OverlayGraph,
+    rounds: int,
+    hub: RngHub,
+    runs: int = 3,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Per-round convergence curves for ``runs`` independent epochs (Figs 5-6).
+
+    Returns one ``(round_numbers, quality_percent)`` pair per run; the
+    quality of a round is read at the epoch initiator, 0 when the epidemic
+    has not yet reached a readable state (the paper's curves likewise start
+    near 0 and rise to 100).
+    """
+    curves: List[Tuple[np.ndarray, np.ndarray]] = []
+    n = graph.size
+    for r in range(runs):
+        proto = AggregationProtocol(graph, rng=hub.child(f"agg{r}").stream("proto"))
+        proto.start_epoch()
+        xs = np.arange(1, rounds + 1, dtype=float)
+        qs = np.empty(rounds, dtype=float)
+        for i in range(rounds):
+            proto.run_round()
+            try:
+                qs[i] = proto.read().quality(n)
+            except EstimatorError:  # pragma: no cover - initiator always has value
+                qs[i] = 0.0
+        curves.append((xs, qs))
+    return curves
+
+
+def aggregation_dynamic(
+    cfg: ExperimentConfig,
+    n: int,
+    trace_factory: Callable[[int], ChurnTrace],
+    horizon: int,
+    hub: RngHub,
+    runs: int = 3,
+    restart_interval: Optional[int] = None,
+) -> Tuple[List[EstimateSeries], List[int]]:
+    """Continuous Aggregation monitoring under churn (Figs 15-17).
+
+    Each run gets its own overlay realization and churn randomness (the
+    trace *schedule* is shared).  Returns the per-run estimate series
+    (x = round, estimate = staircase of end-of-epoch reads, true = live
+    size) and the per-run failed-epoch counts.
+    """
+    interval = restart_interval or cfg.scale.restart_interval
+    all_series: List[EstimateSeries] = []
+    failures: List[int] = []
+    for r in range(runs):
+        run_hub = hub.child(f"aggdyn{r}")
+        graph = build_overlay(cfg, n, run_hub)
+        driver = RoundDriver()
+        scheduler = ChurnScheduler(
+            graph,
+            trace_factory(n),
+            rng=run_hub.stream("churn"),
+            max_degree=cfg.max_degree,
+        )
+        scheduler.attach(driver)
+        monitor = AggregationMonitor(
+            graph, restart_interval=interval, rng=run_hub.stream("monitor")
+        )
+        monitor.attach(driver)
+        sizes: List[int] = []
+        driver.subscribe(lambda rnd, g=graph, s=sizes: s.append(g.size), priority=30)
+        driver.run(horizon)
+
+        series = EstimateSeries(name=f"run{r + 1}")
+        for rnd, (est, size) in enumerate(zip(monitor.series, sizes), start=1):
+            if size > 0:
+                series.append(rnd, est, size)
+        all_series.append(series)
+        failures.append(monitor.failures)
+    return all_series, failures

@@ -1,0 +1,234 @@
+"""Static-context figures: 1-6 and 18 (§IV-C).
+
+All run on the heterogeneous random overlay (max degree 10, average ≈7.2)
+with the size held constant; quality is normalized to 100.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.curves import FigureResult
+from ..core.hops_sampling import HopsSamplingEstimator
+from ..core.sample_collide import SampleCollideEstimator
+from ..sim.rng import RngHub
+from .config import ExperimentConfig, resolve_scale
+from .runner import aggregation_convergence, build_overlay, static_probe_series
+
+__all__ = [
+    "fig01_sample_collide_100k",
+    "fig02_sample_collide_1m",
+    "fig03_hops_sampling_100k",
+    "fig04_hops_sampling_1m",
+    "fig05_aggregation_100k",
+    "fig06_aggregation_1m",
+    "fig18_sample_collide_l10",
+]
+
+
+def _sc_factory(cfg: ExperimentConfig, l: int):
+    def make(graph, hub: RngHub):
+        return SampleCollideEstimator(
+            graph, l=l, timer=cfg.sc_timer, rng=hub.stream("sc")
+        )
+
+    return make
+
+
+def _hops_factory(cfg: ExperimentConfig):
+    def make(graph, hub: RngHub):
+        return HopsSamplingEstimator(
+            graph,
+            gossip_to=cfg.hops_fanout,
+            min_hops_reporting=cfg.hops_min_reporting,
+            rng=hub.stream("hops"),
+        )
+
+    return make
+
+
+def _probe_figure(
+    figure_id: str,
+    title: str,
+    factory,
+    n: int,
+    count: int,
+    cfg: ExperimentConfig,
+    notes: str,
+) -> FigureResult:
+    hub = RngHub(cfg.seed).child(figure_id)
+    graph = build_overlay(cfg, n, hub)
+    series = static_probe_series(factory, graph, count, hub, label=figure_id)
+    fig = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        xlabel="Number of estimations",
+        ylabel="Quality %",
+        params={"n": n, "count": count, "scale": cfg.scale.name},
+        notes=notes,
+    )
+    fig.add("one shot", series.x, series.qualities())
+    fig.add(
+        "last 10 runs",
+        series.x,
+        series.rolling_qualities(cfg.last_runs_window),
+    )
+    return fig
+
+
+def fig01_sample_collide_100k(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 1: Sample&Collide oneShot & last10runs, l=200, '100k' overlay.
+
+    Expected shape: oneShot mostly within ±10% (peaks 10-20%); last10runs
+    within ≈3-4%.
+    """
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _probe_figure(
+        "fig01",
+        "Sample&Collide oneShot/last10runs, l=200, static (paper: 100,000 nodes)",
+        _sc_factory(cfg, cfg.sc_l),
+        cfg.scale.n_100k,
+        cfg.scale.static_estimations,
+        cfg,
+        notes="paper shape: oneShot within ~10% (peaks to 20%), last10runs within 3-4%",
+    )
+
+
+def fig02_sample_collide_1m(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 2: as Fig 1 on the '1M' overlay (18 estimations)."""
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _probe_figure(
+        "fig02",
+        "Sample&Collide oneShot/last10runs, l=200, static (paper: 1,000,000 nodes)",
+        _sc_factory(cfg, cfg.sc_l),
+        cfg.scale.n_1m,
+        cfg.scale.static_estimations_1m,
+        cfg,
+        notes="accuracy depends on l only, not N: same bands as fig01",
+    )
+
+
+def fig03_hops_sampling_100k(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 3: HopsSampling oneShot & last10runs, '100k' overlay.
+
+    Expected shape: noisier than S&C, last10runs within ≈20%, oneShot peaks
+    beyond 50%, consistent under-estimation.
+    """
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _probe_figure(
+        "fig03",
+        "HopsSampling oneShot/last10runs, static (paper: 100,000 nodes)",
+        _hops_factory(cfg),
+        cfg.scale.n_100k,
+        cfg.scale.static_estimations,
+        cfg,
+        notes="paper shape: last10runs within ~20%, oneShot peaks >50%, under-estimates",
+    )
+
+
+def fig04_hops_sampling_1m(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 4: as Fig 3 on the '1M' overlay (20 estimations)."""
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _probe_figure(
+        "fig04",
+        "HopsSampling oneShot/last10runs, static (paper: 1,000,000 nodes)",
+        _hops_factory(cfg),
+        cfg.scale.n_1m,
+        max(cfg.scale.static_estimations_1m, 20),
+        cfg,
+        notes="algorithm scales: same bands as fig03",
+    )
+
+
+def _aggregation_figure(
+    figure_id: str, title: str, n: int, cfg: ExperimentConfig
+) -> FigureResult:
+    hub = RngHub(cfg.seed).child(figure_id)
+    graph = build_overlay(cfg, n, hub)
+    curves = aggregation_convergence(graph, cfg.scale.aggregation_rounds, hub, runs=3)
+    fig = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        xlabel="#Round",
+        ylabel="Quality %",
+        params={"n": n, "rounds": cfg.scale.aggregation_rounds, "scale": cfg.scale.name},
+        notes="paper shape: converges to ~100% by ~40 rounds (100k) / ~50 (1M)",
+    )
+    for i, (xs, qs) in enumerate(curves, start=1):
+        fig.add(f"Estimation #{i}", xs, qs)
+    return fig
+
+
+def fig05_aggregation_100k(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 5: Aggregation quality vs round, 3 epochs, '100k' overlay."""
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _aggregation_figure(
+        "fig05",
+        "Aggregation convergence (paper: 100,000 nodes)",
+        cfg.scale.n_100k,
+        cfg,
+    )
+
+
+def fig06_aggregation_1m(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 6: Aggregation quality vs round, 3 epochs, '1M' overlay."""
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    return _aggregation_figure(
+        "fig06",
+        "Aggregation convergence (paper: 1,000,000 nodes)",
+        cfg.scale.n_1m,
+        cfg,
+    )
+
+
+def fig18_sample_collide_l10(
+    scale: Optional[object] = None, seed: Optional[int] = None
+) -> FigureResult:
+    """Fig 18: Sample&Collide with l=10 — the cheap/noisy configuration.
+
+    Expected shape: one-shot noise ≈1/sqrt(10)≈32% relative std, overhead
+    ≈1/4.6 of the l=200 configuration (§V: "only 100,000 messages" at 100k).
+    """
+    cfg = ExperimentConfig(scale=resolve_scale(scale))
+    if seed is not None:
+        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
+    hub = RngHub(cfg.seed).child("fig18")
+    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
+    count = max(cfg.scale.static_estimations // 2, 25)
+    series = static_probe_series(
+        _sc_factory(cfg, 10), graph, count, hub, label="fig18"
+    )
+    fig = FigureResult(
+        figure_id="fig18",
+        title="Sample&Collide with l=10 (paper: 100,000 nodes)",
+        xlabel="Number of estimations",
+        ylabel="Quality %",
+        params={"n": graph.size, "l": 10, "count": count, "scale": cfg.scale.name},
+        notes="paper shape: noisy one-shot (rel. std ~32%) at ~1/5 the l=200 cost",
+    )
+    fig.add("One Shot", series.x, series.qualities())
+    return fig

@@ -1,0 +1,417 @@
+"""Dynamic peer-to-peer overlay graph.
+
+The paper (§IV-A) runs all algorithms on *unstructured* overlays: undirected
+graphs where each node knows a small random set of neighbours.  Overlays are
+**dynamic** — nodes join and leave (churn), and when a node leaves, its
+neighbours simply lose the link (the paper explicitly does *not* repair the
+overlay: "the nodes that have lost one or several neighbors do not create new
+links with other nodes").
+
+Two representations are kept in sync:
+
+* a mutable adjacency map (``dict[int, set[int]]``) supporting O(1) joins,
+  leaves and link edits — the source of truth;
+* an immutable CSR snapshot (:class:`CsrView`) rebuilt lazily after
+  mutations, used by every vectorized kernel (gossip spread, BFS, neighbour
+  sampling).  Per the HPC guides, all hot loops operate on these flat,
+  contiguous arrays rather than on Python dictionaries.
+
+Node identifiers are opaque non-negative integers.  Identifiers of departed
+nodes are never reused within one graph's lifetime, which lets churn traces
+and estimator logs refer to nodes unambiguously.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..sim.rng import RngLike, as_generator
+
+__all__ = ["OverlayGraph", "CsrView", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph operations."""
+
+
+class CsrView:
+    """Immutable flat-array snapshot of an :class:`OverlayGraph`.
+
+    Attributes
+    ----------
+    nodes:
+        Sorted array of alive node ids, shape ``(n,)``.
+    indptr:
+        CSR row pointer, shape ``(n + 1,)``; neighbours of the ``k``-th node
+        in ``nodes`` are ``indices[indptr[k]:indptr[k+1]]``.
+    indices:
+        Flat neighbour array holding *positions into* ``nodes`` (not raw
+        ids), so kernels can work purely in compact ``0..n-1`` space.
+    index_of:
+        Mapping from raw node id to its position in ``nodes``; built lazily
+        on first access (churn-heavy simulations rebuild snapshots far more
+        often than they look up raw ids).
+    """
+
+    __slots__ = ("nodes", "indptr", "indices", "_index_of")
+
+    def __init__(
+        self, nodes: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ) -> None:
+        self.nodes = nodes
+        self.indptr = indptr
+        self.indices = indices
+        self._index_of: Optional[Dict[int, int]] = None
+
+    @property
+    def index_of(self) -> Dict[int, int]:
+        if self._index_of is None:
+            self._index_of = {int(u): i for i, u in enumerate(self.nodes)}
+        return self._index_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CsrView(n={self.n}, m={self.m})"
+
+    @property
+    def n(self) -> int:
+        """Number of alive nodes in the snapshot."""
+        return int(self.nodes.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges in the snapshot."""
+        return int(self.indices.shape[0]) // 2
+
+    def degrees(self) -> np.ndarray:
+        """Degree of each node, aligned with ``nodes``."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, pos: int) -> np.ndarray:
+        """Compact positions of the neighbours of the node at ``pos``."""
+        return self.indices[self.indptr[pos] : self.indptr[pos + 1]]
+
+    def sample_neighbors(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized choice of one uniform random neighbour per position.
+
+        Positions with degree zero map to ``-1`` (no neighbour available);
+        callers must handle that sentinel.  This is the inner step of both
+        the push-pull aggregation round and gossip fan-out selection.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        starts = self.indptr[positions]
+        degs = self.indptr[positions + 1] - starts
+        out = np.full(positions.shape, -1, dtype=np.int64)
+        nz = degs > 0
+        if np.any(nz):
+            offsets = (rng.random(int(nz.sum())) * degs[nz]).astype(np.int64)
+            out[nz] = self.indices[starts[nz] + offsets]
+        return out
+
+    def bfs_distances(self, source_pos: int) -> np.ndarray:
+        """Hop distance from ``source_pos`` to every node (``-1``: unreachable).
+
+        Frontier-at-a-time BFS using vectorized neighbour expansion; used by
+        graph diagnostics and the HopsSampling bias analysis (§V of the
+        paper, where exact distances de-bias the poll).
+        """
+        n = self.n
+        dist = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return dist
+        dist[source_pos] = 0
+        frontier = np.array([source_pos], dtype=np.int64)
+        d = 0
+        while frontier.size:
+            d += 1
+            # Gather all neighbours of the frontier in one shot.
+            counts = self.indptr[frontier + 1] - self.indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            flat = np.empty(total, dtype=np.int64)
+            pos = 0
+            for f, c in zip(frontier, counts):
+                flat[pos : pos + c] = self.indices[self.indptr[f] : self.indptr[f] + c]
+                pos += c
+            fresh = flat[dist[flat] < 0]
+            if fresh.size == 0:
+                break
+            fresh = np.unique(fresh)
+            dist[fresh] = d
+            frontier = fresh
+        return dist
+
+    def connected_component_sizes(self) -> List[int]:
+        """Sizes of connected components, descending."""
+        n = self.n
+        seen = np.zeros(n, dtype=bool)
+        sizes: List[int] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            count = 1
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self.neighbors(u):
+                    v = int(v)
+                    if not seen[v]:
+                        seen[v] = True
+                        count += 1
+                        stack.append(v)
+            sizes.append(count)
+        sizes.sort(reverse=True)
+        return sizes
+
+
+class OverlayGraph:
+    """Mutable undirected overlay with lazily rebuilt CSR snapshots.
+
+    All links are bidirectional (paper §IV-A: "whenever a node contacts
+    another one, the reached node also ... keeps a link back").  Self-loops
+    and parallel edges are rejected.
+
+    Parameters
+    ----------
+    nodes:
+        Optional initial node ids.
+    edges:
+        Optional initial undirected edges as ``(u, v)`` pairs.
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[int]] = None,
+        edges: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        self._next_id = 0
+        self._csr: Optional[CsrView] = None
+        self._edge_count = 0
+        if nodes is not None:
+            for u in nodes:
+                self.add_node(u)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of alive nodes — the quantity every estimator targets."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_count
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def nodes(self) -> List[int]:
+        """List of alive node ids (unspecified order)."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(min, max)`` pairs."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, node: int) -> Set[int]:
+        """The (live) neighbour set of ``node`` — do not mutate."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise GraphError(f"node {node} is not in the overlay") from None
+
+    def degree(self, node: int) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self.neighbors(node))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def average_degree(self) -> float:
+        """Mean degree over alive nodes (0.0 for the empty graph)."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._edge_count / len(self._adj)
+
+    def random_node(self, rng: RngLike = None) -> int:
+        """A uniformly random alive node (uses the CSR snapshot)."""
+        view = self.csr()
+        if view.n == 0:
+            raise GraphError("cannot sample from an empty overlay")
+        gen = as_generator(rng)
+        return int(view.nodes[gen.integers(view.n)])
+
+    def random_neighbor(self, node: int, rng: RngLike = None) -> Optional[int]:
+        """A uniformly random neighbour of ``node`` or ``None`` if isolated."""
+        nbrs = self.neighbors(node)
+        if not nbrs:
+            return None
+        gen = as_generator(rng)
+        # tuple() copy is O(deg) but deg is small (≤ max_degree ≈ 10) in the
+        # paper's overlays; kernels that need bulk sampling use CsrView.
+        options = tuple(nbrs)
+        return options[int(gen.integers(len(options)))]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Optional[int] = None) -> int:
+        """Add an isolated node; auto-assigns the id when ``node`` is None.
+
+        Returns the id of the added node.
+        """
+        if node is None:
+            node = self._next_id
+        node = int(node)
+        if node < 0:
+            raise GraphError("node ids must be non-negative")
+        if node in self._adj:
+            raise GraphError(f"node {node} already present")
+        self._adj[node] = set()
+        self._next_id = max(self._next_id, node + 1)
+        self._csr = None
+        return node
+
+    def add_nodes(self, count: int) -> List[int]:
+        """Add ``count`` fresh isolated nodes, returning their ids."""
+        if count < 0:
+            raise GraphError("count must be non-negative")
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, node: int) -> None:
+        """Remove ``node`` and sever all of its links (no repair).
+
+        This models an abrupt departure/failure: per the paper, remaining
+        neighbours do *not* rewire.
+        """
+        nbrs = self._adj.pop(node, None)
+        if nbrs is None:
+            raise GraphError(f"node {node} is not in the overlay")
+        for v in nbrs:
+            self._adj[v].discard(node)
+        self._edge_count -= len(nbrs)
+        self._csr = None
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Create the undirected edge ``{u, v}``."""
+        if u == v:
+            raise GraphError("self-loops are not allowed in the overlay")
+        if u not in self._adj or v not in self._adj:
+            raise GraphError(f"both endpoints must exist (got {u}, {v})")
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._edge_count += 1
+        self._csr = None
+
+    def try_add_edge(self, u: int, v: int) -> bool:
+        """Like :meth:`add_edge` but returns False instead of raising on
+        duplicates/self-loops. Used by randomized builders."""
+        if u == v or u not in self._adj or v not in self._adj or v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._edge_count += 1
+        self._csr = None
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}``."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) is not in the overlay")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edge_count -= 1
+        self._csr = None
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def csr(self) -> CsrView:
+        """Return the current CSR snapshot, rebuilding it if stale.
+
+        Rebuild cost is O(n + m); mutations merely invalidate the cache so
+        bursts of churn pay for a single rebuild at the next kernel call.
+        """
+        if self._csr is None:
+            self._csr = self._build_csr()
+        return self._csr
+
+    def _build_csr(self) -> CsrView:
+        n = len(self._adj)
+        ids = np.fromiter(self._adj.keys(), dtype=np.int64, count=n)
+        ids.sort()
+        id_list = ids.tolist()
+        adj = self._adj
+        degs = np.fromiter((len(adj[u]) for u in id_list), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        total = int(indptr[-1])
+        # Single C-level pass over the adjacency, then one vectorized
+        # id→position translation (ids are sorted, so searchsorted is it).
+        flat = np.fromiter(
+            itertools.chain.from_iterable(map(adj.__getitem__, id_list)),
+            dtype=np.int64,
+            count=total,
+        )
+        indices = np.searchsorted(ids, flat)
+        return CsrView(nodes=ids, indptr=indptr, indices=indices)
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used heavily by the test-suite.
+
+        Raises :class:`GraphError` when symmetry or edge accounting breaks.
+        """
+        half_edges = 0
+        for u, nbrs in self._adj.items():
+            half_edges += len(nbrs)
+            if u in nbrs:
+                raise GraphError(f"self-loop at {u}")
+            for v in nbrs:
+                if v not in self._adj:
+                    raise GraphError(f"dangling link {u}->{v}")
+                if u not in self._adj[v]:
+                    raise GraphError(f"asymmetric link {u}->{v}")
+        if half_edges != 2 * self._edge_count:
+            raise GraphError(
+                f"edge count drift: counted {half_edges // 2}, cached {self._edge_count}"
+            )
+
+    def copy(self) -> "OverlayGraph":
+        """Deep copy (snapshot caches are not shared)."""
+        g = OverlayGraph()
+        g._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        g._next_id = self._next_id
+        g._edge_count = self._edge_count
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OverlayGraph(n={self.size}, m={self.num_edges})"

@@ -1,0 +1,133 @@
+"""Membership dynamics: node joins and departures.
+
+The churn engine (:mod:`repro.churn`) expresses *what* happens (arrival and
+departure counts over time); this module implements *how* it happens on the
+overlay:
+
+* departures remove uniformly random alive nodes, severing their links with
+  **no repair** (paper §IV-A);
+* arrivals create fresh nodes wired to a random number of alive peers using
+  the same degree policy as the heterogeneous builder, so a grown overlay is
+  statistically indistinguishable from one built at that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim.rng import RngLike, as_generator
+from .graph import GraphError, OverlayGraph
+
+__all__ = ["MembershipPolicy", "JoinReport"]
+
+
+@dataclass(frozen=True)
+class JoinReport:
+    """Result of a batch join: ids added and links actually created."""
+
+    node_ids: List[int]
+    links_created: int
+
+
+class MembershipPolicy:
+    """Applies arrivals/departures to an :class:`OverlayGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The overlay to mutate.
+    max_degree, min_degree:
+        Degree policy for joining nodes (defaults match the paper's
+        heterogeneous overlays: 1..10).
+    rng:
+        Random source for victim selection and join wiring.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        max_degree: int = 10,
+        min_degree: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        if not (0 < min_degree <= max_degree):
+            raise GraphError(
+                f"need 0 < min_degree <= max_degree, got {min_degree}, {max_degree}"
+            )
+        self.graph = graph
+        self.max_degree = max_degree
+        self.min_degree = min_degree
+        self._rng = as_generator(rng, "membership")
+
+    # ------------------------------------------------------------------
+
+    def join(self, count: int = 1) -> JoinReport:
+        """Add ``count`` fresh nodes, each wired to random alive peers.
+
+        A joining node draws a target degree uniformly in
+        ``[min_degree, max_degree]`` and links to that many distinct random
+        alive peers whose degree is below ``max_degree``.  When the overlay
+        is tiny or saturated the node may end with fewer links (possibly
+        zero on an empty overlay) — mirroring reality, where a joiner only
+        knows the peers its bootstrap gave it.
+        """
+        if count < 0:
+            raise GraphError("count must be non-negative")
+        gen = self._rng
+        created: List[int] = []
+        links = 0
+        # One candidate list for the whole batch (joiners are appended and
+        # thus become candidates for later joiners, as in a real system
+        # where a bootstrap server learns of new arrivals immediately).
+        # Deliberately avoids graph.csr(): snapshot rebuilds per joiner
+        # would make mass-join churn events O(n·count).
+        candidates: List[int] = self.graph.nodes()
+        for _ in range(count):
+            u = self.graph.add_node()
+            created.append(u)
+            pool = len(candidates)
+            if pool:
+                want = int(gen.integers(self.min_degree, self.max_degree + 1))
+                want = min(want, pool)
+                attempts = 0
+                budget = 20 * max(want, 1)
+                got = 0
+                while got < want and attempts < budget:
+                    attempts += 1
+                    v = candidates[int(gen.integers(pool))]
+                    if self.graph.degree(v) >= self.max_degree:
+                        continue
+                    if self.graph.try_add_edge(u, v):
+                        got += 1
+                        links += 1
+            candidates.append(u)
+        return JoinReport(node_ids=created, links_created=links)
+
+    def leave(self, count: int = 1) -> List[int]:
+        """Remove ``count`` uniformly random alive nodes (fail-stop).
+
+        Returns the removed node ids.  Raises when asked to remove more
+        nodes than are alive.
+        """
+        if count < 0:
+            raise GraphError("count must be non-negative")
+        if count > self.graph.size:
+            raise GraphError(
+                f"cannot remove {count} nodes from an overlay of {self.graph.size}"
+            )
+        gen = self._rng
+        alive = np.fromiter(self.graph, dtype=np.int64, count=self.graph.size)
+        victims = gen.choice(alive, size=count, replace=False)
+        removed: List[int] = []
+        for v in victims:
+            self.graph.remove_node(int(v))
+            removed.append(int(v))
+        return removed
+
+    def remove_specific(self, nodes: Sequence[int]) -> None:
+        """Remove the given nodes (e.g. a scripted catastrophic failure)."""
+        for v in nodes:
+            self.graph.remove_node(int(v))

@@ -1,0 +1,187 @@
+"""Overlay repair policies — relaxing the paper's worst-case assumption.
+
+The paper deliberately evaluates the *worst case*: "the nodes that have
+lost one or several neighbors do not create new links with other nodes"
+(§IV-A), and attributes Aggregation's Fig 17 breakdown to the resulting
+loss of connectivity.  Real deployments run a membership protocol
+(Cyclon, the peer sampling service — both cited by the paper) that repairs
+the overlay continuously.
+
+This module provides repair policies that plug into a
+:class:`~repro.sim.rounds.RoundDriver` so the breakdown can be studied as
+a function of maintenance effort (see
+``benchmarks/test_ablation_repair.py``):
+
+* :class:`NoRepair` — the paper's baseline (explicit no-op, for symmetry);
+* :class:`DegreeRepair` — each round, every node whose degree fell below a
+  floor opens links to random alive peers (bounded effort per round); this
+  is the minimal abstraction of what Cyclon's view shuffling achieves;
+* :class:`FullRepair` — immediately restores every node to its target
+  degree after each churn event (an upper bound, not a realistic
+  protocol).
+
+All repairs are metered (``MessageKind.CONTROL``, one message per link
+formed) so the maintenance traffic can be charged against the estimation
+overhead it saves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..sim.messages import MessageKind, MessageMeter
+from ..sim.rng import RngLike, as_generator
+from ..sim.rounds import PRIORITY_CHURN, RoundDriver
+from .graph import OverlayGraph
+
+__all__ = ["RepairPolicy", "NoRepair", "DegreeRepair", "FullRepair"]
+
+#: Repair runs after churn (which is PRIORITY_CHURN) but before protocols.
+PRIORITY_REPAIR = PRIORITY_CHURN + 5
+
+
+class RepairPolicy(abc.ABC):
+    """Base class: a per-round overlay maintenance step."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        rng: RngLike = None,
+        meter: Optional[MessageMeter] = None,
+    ) -> None:
+        self.graph = graph
+        self.rng = as_generator(rng, "repair")
+        self.meter = meter if meter is not None else MessageMeter()
+        self.links_formed = 0
+
+    @abc.abstractmethod
+    def repair_round(self, round_number: int) -> int:
+        """Perform one maintenance step; returns links formed."""
+
+    def attach(self, driver: RoundDriver) -> None:
+        """Subscribe to the driver (after churn, before protocols)."""
+        driver.subscribe(
+            lambda rnd: self.repair_round(rnd),
+            priority=PRIORITY_REPAIR,
+            label=type(self).__name__,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _link_to_random_peers(self, node: int, want: int, candidates: List[int]) -> int:
+        """Open up to ``want`` links from ``node`` to random candidates."""
+        formed = 0
+        attempts = 0
+        pool = len(candidates)
+        budget = 20 * max(want, 1)
+        while formed < want and attempts < budget and pool > 1:
+            attempts += 1
+            v = candidates[int(self.rng.integers(pool))]
+            if v == node or v not in self.graph:
+                continue
+            if self.graph.try_add_edge(node, v):
+                formed += 1
+        if formed:
+            self.meter.add(MessageKind.CONTROL, formed)
+            self.links_formed += formed
+        return formed
+
+
+class NoRepair(RepairPolicy):
+    """The paper's baseline: never repair (explicit no-op)."""
+
+    def repair_round(self, round_number: int) -> int:
+        """Do nothing; returns 0."""
+        return 0
+
+
+class DegreeRepair(RepairPolicy):
+    """Bounded-effort repair: under-connected nodes re-link each round.
+
+    Parameters
+    ----------
+    min_degree:
+        Nodes below this degree attempt repair.
+    target_degree:
+        Repair tops nodes up to this degree (at most).
+    max_links_per_round:
+        Global per-round budget — the knob that makes repair effort
+        measurable against the Fig 17 breakdown.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        min_degree: int = 3,
+        target_degree: int = 5,
+        max_links_per_round: int = 200,
+        rng: RngLike = None,
+        meter: Optional[MessageMeter] = None,
+    ) -> None:
+        super().__init__(graph, rng=rng, meter=meter)
+        if not (0 < min_degree <= target_degree):
+            raise ValueError("need 0 < min_degree <= target_degree")
+        if max_links_per_round < 1:
+            raise ValueError("max_links_per_round must be >= 1")
+        self.min_degree = int(min_degree)
+        self.target_degree = int(target_degree)
+        self.max_links_per_round = int(max_links_per_round)
+
+    def repair_round(self, round_number: int) -> int:
+        """Re-link under-connected nodes within the round budget."""
+        g = self.graph
+        if g.size < 2:
+            return 0
+        candidates = g.nodes()
+        needy = [u for u in candidates if g.degree(u) < self.min_degree]
+        if not needy:
+            return 0
+        # Randomize service order so the budget isn't biased by node id.
+        order = self.rng.permutation(len(needy))
+        formed = 0
+        for i in order:
+            if formed >= self.max_links_per_round:
+                break
+            u = needy[int(i)]
+            want = min(
+                self.target_degree - g.degree(u),
+                self.max_links_per_round - formed,
+            )
+            if want > 0:
+                formed += self._link_to_random_peers(u, want, candidates)
+        return formed
+
+
+class FullRepair(RepairPolicy):
+    """Idealized repair: every node restored to ``target_degree`` each round.
+
+    An upper bound on what maintenance can achieve; useful to separate
+    "breakdown is caused by connectivity loss" (it vanishes here) from
+    other explanations.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        target_degree: int = 7,
+        rng: RngLike = None,
+        meter: Optional[MessageMeter] = None,
+    ) -> None:
+        super().__init__(graph, rng=rng, meter=meter)
+        if target_degree < 1:
+            raise ValueError("target_degree must be >= 1")
+        self.target_degree = int(target_degree)
+
+    def repair_round(self, round_number: int) -> int:
+        """Top every node up to the target degree."""
+        g = self.graph
+        if g.size < 2:
+            return 0
+        candidates = g.nodes()
+        formed = 0
+        for u in candidates:
+            deficit = self.target_degree - g.degree(u)
+            if deficit > 0:
+                formed += self._link_to_random_peers(u, deficit, candidates)
+        return formed

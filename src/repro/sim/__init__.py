@@ -1,0 +1,49 @@
+"""Simulation substrate: event engine, rounds, message accounting, metrics, RNG."""
+
+from .engine import Event, SimulationEngine, SimulationError
+from .latency import DelayBreakdown, LatencyModel, completion_time_lockstep
+from .messages import MessageKind, MessageMeter, MeterSnapshot
+from .network import Message, MessageLevelSpread, Network
+from .metrics import (
+    EstimateSeries,
+    RollingAverage,
+    SeriesSummary,
+    error_percent,
+    quality_percent,
+)
+from .rng import RngHub, as_generator, derive_seed
+from .rounds import (
+    PRIORITY_CHURN,
+    PRIORITY_OBSERVER,
+    PRIORITY_PROTOCOL,
+    RoundDriver,
+    RoundHook,
+)
+
+__all__ = [
+    "DelayBreakdown",
+    "Event",
+    "EstimateSeries",
+    "LatencyModel",
+    "completion_time_lockstep",
+    "Message",
+    "MessageKind",
+    "MessageLevelSpread",
+    "MessageMeter",
+    "MeterSnapshot",
+    "Network",
+    "PRIORITY_CHURN",
+    "PRIORITY_OBSERVER",
+    "PRIORITY_PROTOCOL",
+    "RngHub",
+    "RollingAverage",
+    "RoundDriver",
+    "RoundHook",
+    "SeriesSummary",
+    "SimulationEngine",
+    "SimulationError",
+    "as_generator",
+    "derive_seed",
+    "error_percent",
+    "quality_percent",
+]

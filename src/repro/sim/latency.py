@@ -1,0 +1,152 @@
+"""Message-delay modelling — the paper's stated future work.
+
+The paper's simulator "does not model the physical network topology" and
+§V therefore leaves delay unquantified, while conjecturing: "HopsSampling
+probably outperforms the other algorithms in terms of delay ... a gossip
+based broadcast and an immediate ACK response ... is very likely to be much
+shorter than the 50 rounds of Aggregation or the wait for 200 equivalent
+samples of Sample&Collide".  The conclusion lists "the physical network
+modeling" as future work.
+
+This module adds the minimal model that makes the conjecture measurable
+without changing any protocol: every message experiences an i.i.d. latency
+drawn from a configurable distribution, and each algorithm's *completion
+time* is derived from its real execution structure:
+
+* **Sample&Collide** — walks within one batch run in parallel, but each
+  walk's hops are sequential and sampling is consumed sequentially until
+  the ``l``-th collision; completion ≈ Σ over consumed walks of the walk's
+  critical path when walks are issued back-to-back (the protocol as
+  published issues them sequentially), or the max when issued in parallel.
+* **HopsSampling** — spread rounds are lock-step (each round's length is
+  the max latency of its fan-out), plus one reply latency.
+* **Aggregation** — ``rounds`` lock-step cycles, each bounded by the
+  slowest exchange.
+
+The defaults use a log-normal latency (median 50 ms, heavy right tail),
+a standard fit for wide-area RTT distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from .rng import RngLike, as_generator
+
+__all__ = ["LatencyModel", "DelayBreakdown", "completion_time_lockstep"]
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """Completion-time estimate of one protocol execution."""
+
+    total: float
+    phases: dict
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self.phases.items())
+        return f"{self.total:.3f}s ({inner})"
+
+
+class LatencyModel:
+    """I.i.d. per-message latency sampler.
+
+    Parameters
+    ----------
+    median_ms:
+        Median one-way message latency in milliseconds.
+    sigma:
+        Log-normal shape parameter; 0 degenerates to a constant latency.
+    """
+
+    def __init__(
+        self, median_ms: float = 50.0, sigma: float = 0.5, rng: RngLike = None
+    ) -> None:
+        if median_ms <= 0:
+            raise ValueError("median_ms must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median_ms = float(median_ms)
+        self.sigma = float(sigma)
+        self.rng = as_generator(rng, "latency")
+
+    def draw(self, count: int) -> np.ndarray:
+        """``count`` latencies in seconds."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0)
+        med = self.median_ms / 1000.0
+        if self.sigma == 0.0:
+            return np.full(count, med)
+        return med * np.exp(self.sigma * self.rng.standard_normal(count))
+
+    def mean(self) -> float:
+        """Analytic mean latency in seconds (log-normal moment)."""
+        return (self.median_ms / 1000.0) * math.exp(self.sigma**2 / 2.0)
+
+    # ------------------------------------------------------------------
+    # per-algorithm completion-time models
+    # ------------------------------------------------------------------
+
+    def sample_collide_delay(
+        self, walks: int, hops_per_walk: float, parallel_walks: bool = False
+    ) -> DelayBreakdown:
+        """Completion time of an S&C estimation.
+
+        ``walks`` sequential timer walks of ``hops_per_walk`` average hops
+        each (plus the reply hop).  With ``parallel_walks`` the initiator
+        launches everything concurrently and waits for the slowest chain —
+        the latency-optimized deployment the paper hints at but does not
+        evaluate.
+        """
+        if walks < 0 or hops_per_walk < 0:
+            raise ValueError("walks and hops_per_walk must be non-negative")
+        hops = max(int(round(hops_per_walk)), 1)
+        if parallel_walks:
+            # max over `walks` independent sums of (hops+1) latencies
+            sums = self.draw(walks * (hops + 1)).reshape(walks, hops + 1).sum(axis=1) \
+                if walks else np.zeros(1)
+            walk_time = float(sums.max()) if walks else 0.0
+            return DelayBreakdown(total=walk_time, phases={"walks(max)": walk_time})
+        walk_time = float(self.draw(walks * (hops + 1)).sum()) if walks else 0.0
+        return DelayBreakdown(total=walk_time, phases={"walks(sequential)": walk_time})
+
+    def hops_sampling_delay(self, spread_rounds: int, fanout: int = 2) -> DelayBreakdown:
+        """Completion time of a HopsSampling estimation.
+
+        Each spread round advances in lock-step: its duration is the max of
+        the round's fan-out latencies (approximated with the max of
+        ``fanout·32`` draws — the frontier is large after the first couple
+        of rounds, so the max concentrates quickly); one reply latency at
+        the end (replies travel concurrently).
+        """
+        if spread_rounds < 0:
+            raise ValueError("spread_rounds must be non-negative")
+        spread = completion_time_lockstep(self, spread_rounds, width=max(32 * fanout, 8))
+        reply = float(self.draw(1)[0])
+        return DelayBreakdown(
+            total=spread + reply, phases={"spread": spread, "reply": reply}
+        )
+
+    def aggregation_delay(self, rounds: int, width: int = 64) -> DelayBreakdown:
+        """Completion time of ``rounds`` lock-step push-pull cycles.
+
+        Each cycle costs a round trip (push + pull) bounded by the slowest
+        of the round's exchanges.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        per_round = completion_time_lockstep(self, rounds, width=width)
+        return DelayBreakdown(total=2.0 * per_round, phases={"rounds(rtt)": 2.0 * per_round})
+
+
+def completion_time_lockstep(model: LatencyModel, rounds: int, width: int) -> float:
+    """Total duration of ``rounds`` barriers, each the max of ``width``
+    i.i.d. latencies — the standard lock-step round abstraction."""
+    if rounds == 0:
+        return 0.0
+    draws = model.draw(rounds * width).reshape(rounds, width)
+    return float(draws.max(axis=1).sum())

@@ -1,0 +1,198 @@
+"""Accuracy metrics used throughout the evaluation.
+
+The paper's figures plot **quality %**: the estimate divided by the true
+size, times 100 ("the system size is normalized to 100 to enable us to
+express the quality of the estimation in terms of percentage").  Dynamic
+figures instead plot raw estimated size against the true (moving) size.
+
+This module provides:
+
+* :func:`quality_percent` / :func:`error_percent` — the paper's y-axis;
+* :class:`RollingAverage` — the *last10runs* heuristic (average of the 10
+  most recent one-shot estimates, the smoother curve in Figs 1-4);
+* :class:`EstimateSeries` — an append-only log of (x, estimate, true size)
+  triples with summary statistics (precision windows like "remains within a
+  10% precision window", under-estimation bias checks, etc.).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "quality_percent",
+    "error_percent",
+    "RollingAverage",
+    "EstimateSeries",
+    "SeriesSummary",
+]
+
+
+def quality_percent(estimate: float, true_size: float) -> float:
+    """Estimate as a percentage of the true size (100 == exact).
+
+    Raises :class:`ValueError` on a non-positive true size: quality is
+    undefined for an empty system.
+    """
+    if true_size <= 0:
+        raise ValueError(f"true size must be positive, got {true_size}")
+    return 100.0 * float(estimate) / float(true_size)
+
+
+def error_percent(estimate: float, true_size: float) -> float:
+    """Absolute relative error in percent: ``|quality - 100|``."""
+    return abs(quality_percent(estimate, true_size) - 100.0)
+
+
+class RollingAverage:
+    """Mean of the ``k`` most recent values — the *last10runs* heuristic.
+
+    >>> r = RollingAverage(3)
+    >>> [r.push(v) for v in (1.0, 2.0, 3.0, 4.0)][-1]
+    3.0
+    """
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._buf: Deque[float] = deque(maxlen=self.window)
+
+    def push(self, value: float) -> float:
+        """Append ``value`` and return the current rolling mean."""
+        self._buf.append(float(value))
+        return self.mean
+
+    @property
+    def mean(self) -> float:
+        """Current rolling mean (NaN when empty)."""
+        if not self._buf:
+            return float("nan")
+        return float(sum(self._buf) / len(self._buf))
+
+    @property
+    def count(self) -> int:
+        """Number of values currently in the window."""
+        return len(self._buf)
+
+    def reset(self) -> None:
+        """Forget all values."""
+        self._buf.clear()
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Aggregate statistics over an :class:`EstimateSeries`."""
+
+    count: int
+    mean_quality: float
+    median_quality: float
+    worst_error: float
+    mean_error: float
+    rmse_quality: float
+    bias: float  # mean(quality) - 100; negative == systematic under-estimate
+    within_10pct: float  # fraction of points with error <= 10%
+    within_20pct: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for reporting."""
+        return {
+            "count": self.count,
+            "mean_quality": self.mean_quality,
+            "median_quality": self.median_quality,
+            "worst_error": self.worst_error,
+            "mean_error": self.mean_error,
+            "rmse_quality": self.rmse_quality,
+            "bias": self.bias,
+            "within_10pct": self.within_10pct,
+            "within_20pct": self.within_20pct,
+        }
+
+
+class EstimateSeries:
+    """Append-only series of estimates with the true size at each point.
+
+    ``x`` is whatever the figure's x-axis is (estimation index, round
+    number, virtual time).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._x: List[float] = []
+        self._estimates: List[float] = []
+        self._true: List[float] = []
+
+    def append(self, x: float, estimate: float, true_size: float) -> None:
+        """Record one estimation point."""
+        if true_size <= 0:
+            raise ValueError("true size must be positive")
+        self._x.append(float(x))
+        self._estimates.append(float(estimate))
+        self._true.append(float(true_size))
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    @property
+    def x(self) -> np.ndarray:
+        """X-axis values as an array."""
+        return np.asarray(self._x, dtype=float)
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """Raw estimates as an array."""
+        return np.asarray(self._estimates, dtype=float)
+
+    @property
+    def true_sizes(self) -> np.ndarray:
+        """True sizes aligned with estimates."""
+        return np.asarray(self._true, dtype=float)
+
+    def qualities(self) -> np.ndarray:
+        """Per-point quality % (the paper's normalized y-axis)."""
+        return 100.0 * self.estimates / self.true_sizes
+
+    def errors(self) -> np.ndarray:
+        """Per-point absolute error %."""
+        return np.abs(self.qualities() - 100.0)
+
+    def rolling_qualities(self, window: int = 10) -> np.ndarray:
+        """Quality % after last-``window``-runs smoothing of the estimates.
+
+        Smoothing is applied to the raw estimates (as the paper does for
+        last10runs) and then normalized by the *current* true size, so in
+        dynamic settings the lag of the averaging window is visible, exactly
+        as discussed in §IV-D ("there is a little convergence time to elapse
+        ... facing a brutal topology changes").
+        """
+        roll = RollingAverage(window)
+        smoothed = np.array([roll.push(v) for v in self._estimates])
+        return 100.0 * smoothed / self.true_sizes
+
+    def summary(self, skip: int = 0) -> SeriesSummary:
+        """Summary statistics, optionally skipping ``skip`` warm-up points."""
+        if len(self._x) <= skip:
+            raise ValueError(
+                f"series has {len(self._x)} points; cannot skip {skip}"
+            )
+        q = self.qualities()[skip:]
+        err = np.abs(q - 100.0)
+        return SeriesSummary(
+            count=int(q.size),
+            mean_quality=float(q.mean()),
+            median_quality=float(np.median(q)),
+            worst_error=float(err.max()),
+            mean_error=float(err.mean()),
+            rmse_quality=float(np.sqrt(np.mean((q - 100.0) ** 2))),
+            bias=float(q.mean() - 100.0),
+            within_10pct=float((err <= 10.0).mean()),
+            within_20pct=float((err <= 20.0).mean()),
+        )
+
+    def rows(self) -> Iterable[Tuple[float, float, float]]:
+        """Iterate ``(x, estimate, true_size)`` rows (CSV-friendly)."""
+        return zip(self._x, self._estimates, self._true)

@@ -1,0 +1,227 @@
+"""Message-level network simulation on the event engine.
+
+The paper's simulator counts messages at round granularity and "does not
+model the physical network topology nor the queuing delays" (§IV-A) — the
+round-level kernels in :mod:`repro.core` implement exactly that, and all
+figures use them.  This module adds the *finer* simulation mode the paper's
+future work points at: every protocol message is an individual
+:class:`~repro.sim.engine.SimulationEngine` event with a latency drawn from
+a :class:`~repro.sim.latency.LatencyModel`, delivered to a per-node handler.
+
+Two uses:
+
+* **validation** — on small overlays, a message-level run of a protocol
+  must agree with the round-level kernel (same reach, same message
+  counts when latencies are constant); the test-suite checks this for the
+  gossip spread, which pins down that the fast kernels are faithful
+  abstractions, not approximations;
+* **delay studies** — completion times emerge from actual message
+  orderings instead of the closed-form models in
+  :mod:`repro.sim.latency` (the models are validated against this).
+
+The API is deliberately small: a :class:`Network` owns the engine, the
+latency model and the meter; protocols are written as handler functions
+``handler(network, node, message) -> None`` that may call
+:meth:`Network.send`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..overlay.graph import OverlayGraph
+from .engine import SimulationEngine
+from .latency import LatencyModel
+from .messages import MessageKind, MessageMeter
+from .rng import RngLike
+
+__all__ = ["Message", "Network", "MessageLevelSpread"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight protocol message."""
+
+    sender: int
+    receiver: int
+    kind: MessageKind
+    payload: Any = None
+    sent_at: float = 0.0
+
+
+Handler = Callable[["Network", int, Message], None]
+
+
+class Network:
+    """Delivers individual messages between overlay nodes with latency.
+
+    Parameters
+    ----------
+    graph:
+        The overlay; only alive receivers get deliveries (messages to
+        departed nodes are silently dropped — fail-stop semantics).
+    latency:
+        Per-message delay source; defaults to a constant 50 ms
+        (``sigma=0``) so validation runs are deterministic in time.
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        latency: Optional[LatencyModel] = None,
+        meter: Optional[MessageMeter] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.graph = graph
+        self.engine = SimulationEngine()
+        self.latency = latency if latency is not None else LatencyModel(
+            median_ms=50.0, sigma=0.0, rng=rng
+        )
+        self.meter = meter if meter is not None else MessageMeter()
+        self._handlers: Dict[int, Handler] = {}
+        self._default_handler: Optional[Handler] = None
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def set_handler(self, node: int, handler: Handler) -> None:
+        """Install ``handler`` for deliveries to ``node``."""
+        self._handlers[node] = handler
+
+    def set_default_handler(self, handler: Handler) -> None:
+        """Handler used by nodes without a specific one (typical case:
+        every node runs the same protocol code)."""
+        self._default_handler = handler
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        kind: MessageKind,
+        payload: Any = None,
+    ) -> None:
+        """Send one message; it is metered now and delivered after latency.
+
+        Sending is allowed even if the receiver has already departed (the
+        sender cannot know) — the message is still *charged* (it was put on
+        the wire) but the delivery is dropped.
+        """
+        self.meter.add(kind, 1)
+        delay = float(self.latency.draw(1)[0])
+        msg = Message(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            payload=payload,
+            sent_at=self.engine.now,
+        )
+
+        def deliver(_engine: SimulationEngine) -> None:
+            if msg.receiver not in self.graph:
+                self.dropped += 1
+                return
+            handler = self._handlers.get(msg.receiver, self._default_handler)
+            if handler is None:
+                self.dropped += 1
+                return
+            self.delivered += 1
+            handler(self, msg.receiver, msg)
+
+        self.engine.schedule_in(delay, deliver, label=f"{kind.value}->{receiver}")
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run the engine until quiescence (or the horizon)."""
+        return self.engine.run(until=until)
+
+
+class MessageLevelSpread:
+    """The HopsSampling gossip spread, written message-by-message.
+
+    Functionally equivalent to
+    :func:`repro.core.hops_sampling._gossip_spread` (same fanout, same
+    first-infection/min-hop rules, same duplicate-triggered re-gossip
+    budget) but executed as individual :class:`Network` deliveries, so it
+    additionally yields the spread's *completion time*.  The test-suite
+    asserts the equivalence on shared RNG-free quantities (reach within
+    tolerance, message count scaling); the delay ablation uses the
+    completion time to validate the closed-form lock-step model.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        gossip_to: int = 2,
+        gossip_for: int = 1,
+        gossip_until: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        if gossip_to < 1 or gossip_for < 1 or gossip_until < 1:
+            raise ValueError("gossip parameters must be >= 1")
+        from .rng import as_generator
+
+        self.network = network
+        self.gossip_to = gossip_to
+        self.gossip_for = gossip_for
+        self.gossip_until = gossip_until
+        self.rng = as_generator(rng, "ml_spread")
+        self.hops: Dict[int, int] = {}
+        self._sends_left: Dict[int, int] = {}
+        self._regossip_left: Dict[int, int] = {}
+        self.finished_at: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run(self, initiator: int) -> None:
+        """Execute the spread from ``initiator`` to quiescence."""
+        g = self.network.graph
+        if initiator not in g:
+            raise ValueError(f"initiator {initiator} is not alive")
+        self.hops[initiator] = 0
+        self.network.set_default_handler(self._on_receive)
+        self._forward(initiator)
+        self.network.run()
+        self.finished_at = self.network.engine.now
+
+    @property
+    def reached(self) -> int:
+        """Nodes that received the poll (initiator included)."""
+        return len(self.hops)
+
+    def coverage(self) -> float:
+        """Reached fraction of the current overlay."""
+        n = self.network.graph.size
+        return self.reached / n if n else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _forward(self, node: int) -> None:
+        g = self.network.graph
+        my_hop = self.hops[node]
+        for _ in range(self.gossip_to):
+            target = g.random_neighbor(node, self.rng)
+            if target is None:
+                continue
+            self.network.send(node, target, MessageKind.SPREAD, payload=my_hop + 1)
+
+    def _on_receive(self, _net: Network, node: int, msg: Message) -> None:
+        hop = int(msg.payload)
+        known = self.hops.get(node)
+        if known is None:
+            # first infection: record distance, gossip for gossip_for sends
+            self.hops[node] = hop
+            self._sends_left[node] = self.gossip_for
+            self._regossip_left[node] = self.gossip_until
+            self._sends_left[node] -= 1
+            self._forward(node)
+        else:
+            if hop < known:
+                self.hops[node] = hop  # lowest hopCount wins
+            if self._sends_left.get(node, 0) > 0:
+                self._sends_left[node] -= 1
+                self._forward(node)
+            elif self._regossip_left.get(node, 0) > 0:
+                # duplicate-triggered re-gossip, once per budget unit
+                self._regossip_left[node] -= 1
+                self._forward(node)

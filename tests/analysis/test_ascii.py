@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart/table renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_chart import line_chart, render_figure, render_table
+from repro.analysis.curves import Curve, FigureResult, TableResult
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "no data" in line_chart([])
+
+    def test_all_nan(self):
+        c = Curve("c", [1.0], [float("nan")])
+        assert "non-finite" in line_chart([c])
+
+    def test_markers_and_legend(self):
+        a = Curve("alpha", [0, 1], [0, 1])
+        b = Curve("beta", [0, 1], [1, 0])
+        out = line_chart([a, b])
+        assert "alpha" in out and "beta" in out
+        assert "*" in out and "o" in out
+
+    def test_flat_curve_visible(self):
+        c = Curve("flat", range(10), [5.0] * 10)
+        out = line_chart([c])
+        assert out.count("*") >= 1
+
+    def test_dimensions_respected(self):
+        c = Curve("c", range(100), np.sin(np.arange(100) / 5))
+        out = line_chart([c], width=40, height=10)
+        body_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(body_lines) == 10
+
+    def test_axis_labels(self):
+        c = Curve("c", [0, 10], [0, 100])
+        out = line_chart([c], ylabel="Quality %", xlabel="Round")
+        assert "Quality %" in out
+        assert "Round" in out
+
+
+class TestRenderFigure:
+    def test_contains_metadata(self):
+        fig = FigureResult("fig9", "Title here", "xl", "yl",
+                           params={"n": 5}, notes="a note")
+        fig.add("c", [1, 2], [3, 4])
+        out = render_figure(fig)
+        assert "fig9" in out and "Title here" in out
+        assert "n=5" in out and "a note" in out
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        t = TableResult("t1", "The table", columns=["alg", "msgs"])
+        t.add_row(alg="sc", msgs=480_000)
+        t.add_row(alg="agg", msgs=10_000_000)
+        out = render_table(t)
+        assert "480,000" in out
+        assert "10,000,000" in out
+        assert "alg" in out and "msgs" in out
+
+    def test_float_formatting(self):
+        t = TableResult("t2", "floats", columns=["v"])
+        t.add_row(v=3.14159)
+        assert "3.142" in render_table(t)
+
+    def test_empty_table(self):
+        t = TableResult("t3", "empty", columns=["a"])
+        out = render_table(t)
+        assert "t3" in out
+
+    def test_notes_rendered(self):
+        t = TableResult("t4", "x", columns=["a"], notes="important")
+        t.add_row(a=1)
+        assert "important" in render_table(t)

@@ -1,0 +1,91 @@
+"""Tests for figure/table result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import Curve, FigureResult, TableResult
+
+
+class TestCurve:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Curve("x", np.arange(3), np.arange(4))
+
+    def test_len(self):
+        assert len(Curve("c", [1, 2, 3], [4, 5, 6])) == 3
+
+    def test_tail_mean(self):
+        c = Curve("c", range(4), [0.0, 0.0, 10.0, 20.0])
+        assert c.tail_mean(0.5) == pytest.approx(15.0)
+
+    def test_tail_mean_ignores_nan(self):
+        c = Curve("c", range(4), [0.0, 0.0, float("nan"), 20.0])
+        assert c.tail_mean(0.5) == pytest.approx(20.0)
+
+    def test_tail_mean_validation(self):
+        c = Curve("c", [1], [1])
+        with pytest.raises(ValueError):
+            c.tail_mean(0.0)
+        with pytest.raises(ValueError):
+            c.tail_mean(1.5)
+
+    def test_final(self):
+        assert Curve("c", [1, 2], [5.0, 9.0]).final() == 9.0
+
+    def test_final_empty(self):
+        with pytest.raises(ValueError):
+            Curve("c", [], []).final()
+
+
+class TestFigureResult:
+    def _fig(self):
+        fig = FigureResult("figX", "title", "x", "y")
+        fig.add("a", [1, 2], [10, 20])
+        fig.add("b", [1, 2], [30, 40])
+        return fig
+
+    def test_add_and_lookup(self):
+        fig = self._fig()
+        assert fig.curve("a").y[1] == 20
+        assert len(fig.curves) == 2
+
+    def test_unknown_curve(self):
+        with pytest.raises(KeyError):
+            self._fig().curve("zzz")
+
+    def test_csv_long_format(self):
+        csv = self._fig().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "figure,curve,x,y"
+        assert len(lines) == 5
+        assert lines[1].startswith("figX,a,1.0,")
+
+
+class TestTableResult:
+    def _table(self):
+        t = TableResult("tabX", "title", columns=["name", "value"])
+        t.add_row(name="a", value=1)
+        t.add_row(name="b", value=2)
+        return t
+
+    def test_rows_and_column(self):
+        t = self._table()
+        assert t.column("value") == [1, 2]
+
+    def test_missing_column_key(self):
+        t = self._table()
+        with pytest.raises(ValueError, match="missing"):
+            t.add_row(name="c")
+        with pytest.raises(ValueError, match="extra"):
+            t.add_row(name="c", value=3, extra=4)
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            self._table().column("zzz")
+
+    def test_csv(self):
+        lines = self._table().to_csv().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1"

@@ -1,0 +1,167 @@
+"""Tests for the statistical validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import (
+    bias_test,
+    bootstrap_mean_ci,
+    detect_convergence,
+    variance_ratio_test,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_clean_data(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(100, 5, size=200)
+        ci = bootstrap_mean_ci(data, rng=2)
+        assert ci.lower < 100 < ci.upper
+        assert ci.contains(float(data.mean()))
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 20), rng=4)
+        big = bootstrap_mean_ci(rng.normal(0, 1, 2_000), rng=4)
+        assert big.halfwidth < small.halfwidth
+
+    def test_nan_dropped(self):
+        ci = bootstrap_mean_ci([1.0, float("nan"), 3.0], rng=5)
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([float("nan")], rng=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([], rng=5)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1, 2, 3], confidence=1.5)
+
+    def test_too_few_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1, 2, 3], resamples=10)
+
+    def test_constant_data_degenerate_interval(self):
+        ci = bootstrap_mean_ci([7.0] * 50, rng=6)
+        assert ci.lower == ci.upper == ci.mean == 7.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_brackets_sample_mean(self, values):
+        ci = bootstrap_mean_ci(values, rng=7)
+        assert ci.lower - 1e-9 <= ci.mean <= ci.upper + 1e-9
+
+
+class TestBiasTest:
+    def test_unbiased_data_not_flagged(self):
+        rng = np.random.default_rng(8)
+        verdict = bias_test(rng.normal(100, 10, 100))
+        assert not verdict.biased_low and not verdict.biased_high
+
+    def test_low_bias_detected(self):
+        # HopsSampling-style: everything below target.
+        verdict = bias_test([88, 92, 85, 90, 95, 89, 91, 87, 93, 86])
+        assert verdict.biased_low
+        assert not verdict.biased_high
+        assert verdict.p_value < 0.01
+
+    def test_high_bias_detected(self):
+        verdict = bias_test([110, 105, 120, 108, 111, 115, 109, 112, 107, 113])
+        assert verdict.biased_high
+
+    def test_ties_dropped(self):
+        verdict = bias_test([100.0, 100.0, 100.0])
+        assert verdict.n_below == verdict.n_above == 0
+        assert verdict.p_value == 1.0
+
+    def test_small_sample_not_significant(self):
+        verdict = bias_test([95, 96])  # 2 points below: p = 0.5
+        assert not verdict.biased_low
+
+
+class TestConvergenceDetection:
+    def test_basic_ramp(self):
+        series = [10, 40, 70, 99.5, 100.2, 99.8, 100.0]
+        assert detect_convergence(series) == 3
+
+    def test_never_converges(self):
+        assert detect_convergence([10, 20, 30]) is None
+
+    def test_transient_spike_not_counted(self):
+        # dips out of band after touching it
+        series = [99.9, 80.0, 99.8, 100.1, 100.0]
+        assert detect_convergence(series) == 2
+
+    def test_hold_requirement(self):
+        series = [50, 100.0, 100.0]
+        assert detect_convergence(series, hold=3) is None
+        assert detect_convergence(series, hold=2) == 1
+
+    def test_custom_band(self):
+        series = [880, 950, 1010, 1005]
+        assert detect_convergence(series, target=1000, tolerance=20, hold=2) == 2
+
+    def test_invalid_hold(self):
+        with pytest.raises(ValueError):
+            detect_convergence([1.0], hold=0)
+
+    def test_matches_fig5_measurement(self, small_het_graph):
+        # End-to-end: measure aggregation's convergence round like Fig 5.
+        from repro.core.aggregation import AggregationProtocol
+
+        proto = AggregationProtocol(small_het_graph, rng=9)
+        proto.start_epoch()
+        qualities = []
+        for _ in range(60):
+            proto.run_round()
+            qualities.append(proto.read().quality(small_het_graph.size))
+        conv = detect_convergence(qualities)
+        assert conv is not None
+        assert 5 < conv < 45
+
+
+class TestVarianceRatio:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(10)
+        noisy = rng.normal(100, 20, 200)
+        tight = rng.normal(100, 2, 200)
+        ratio, significant = variance_ratio_test(noisy, tight, rng=11)
+        assert ratio > 5
+        assert significant
+
+    def test_equal_variance_not_significant(self):
+        rng = np.random.default_rng(12)
+        a = rng.normal(0, 5, 150)
+        b = rng.normal(0, 5, 150)
+        _, significant = variance_ratio_test(a, b, rng=13)
+        assert not significant
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            variance_ratio_test([1, 2], [1, 2, 3], rng=14)
+
+    def test_paper_claim_hops_noisier_than_sc(self, het_graph):
+        # The §IV-C "noisier curves" statement, now with significance.
+        from repro.core.hops_sampling import HopsSamplingEstimator
+        from repro.core.sample_collide import SampleCollideEstimator
+
+        hops = [
+            HopsSamplingEstimator(het_graph, rng=s).estimate().quality(het_graph.size)
+            for s in range(15)
+        ]
+        sc = [
+            SampleCollideEstimator(het_graph, l=200, rng=s)
+            .estimate()
+            .quality(het_graph.size)
+            for s in range(15)
+        ]
+        ratio, significant = variance_ratio_test(hops, sc, rng=15)
+        assert ratio > 1.0

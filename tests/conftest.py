@@ -1,0 +1,67 @@
+"""Shared fixtures for the test-suite.
+
+Graph fixtures are module-scoped where construction is the dominant cost
+and the tests only read; mutating tests build their own graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.overlay.builders import (
+    erdos_renyi,
+    heterogeneous_random,
+    homogeneous_random,
+    ring_lattice,
+    scale_free,
+)
+from repro.overlay.graph import OverlayGraph
+from repro.sim.rng import RngHub
+
+
+@pytest.fixture
+def hub() -> RngHub:
+    """A deterministic RNG hub."""
+    return RngHub(1234)
+
+
+@pytest.fixture
+def tiny_graph() -> OverlayGraph:
+    """A hand-built 5-node graph: path 0-1-2-3 plus edge 1-4."""
+    g = OverlayGraph(nodes=range(5), edges=[(0, 1), (1, 2), (2, 3), (1, 4)])
+    return g
+
+
+@pytest.fixture(scope="module")
+def het_graph() -> OverlayGraph:
+    """A 2,000-node heterogeneous overlay (read-only in tests)."""
+    return heterogeneous_random(2_000, rng=42)
+
+
+@pytest.fixture(scope="module")
+def small_het_graph() -> OverlayGraph:
+    """A 500-node heterogeneous overlay (read-only in tests)."""
+    return heterogeneous_random(500, rng=7)
+
+
+@pytest.fixture(scope="module")
+def sf_graph() -> OverlayGraph:
+    """A 2,000-node scale-free overlay (read-only in tests)."""
+    return scale_free(2_000, m=3, rng=11)
+
+
+@pytest.fixture
+def tiny_scale() -> Scale:
+    """A minuscule experiment scale so figure functions run in <1s each."""
+    return Scale(
+        name="tiny",
+        n_100k=400,
+        n_1m=600,
+        static_estimations=5,
+        static_estimations_1m=4,
+        aggregation_rounds=25,
+        aggregation_horizon=80,
+        dynamic_estimations=8,
+        restart_interval=20,
+    )

@@ -1,0 +1,131 @@
+"""Tests for adaptive parameter selection and the self-tuning monitor."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.churn.models import growing_trace
+from repro.churn.scheduler import ChurnScheduler
+from repro.core.adaptive import (
+    AdaptiveMonitor,
+    choose_l,
+    choose_l_for_budget,
+    plan_estimation,
+)
+from repro.overlay.builders import heterogeneous_random
+
+
+class TestChooseL:
+    def test_paper_configurations(self):
+        # l=200 <-> ~7% relative std; l=10 <-> ~32%.
+        assert choose_l(0.0708) == 200
+        assert choose_l(0.317) == 10
+
+    def test_monotone(self):
+        assert choose_l(0.05) > choose_l(0.1) > choose_l(0.3)
+
+    def test_inverse_identity(self):
+        for target in (0.05, 0.1, 0.2):
+            l = choose_l(target)
+            assert 1.0 / math.sqrt(l) <= target
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            choose_l(0.0)
+        with pytest.raises(ValueError):
+            choose_l(-0.1)
+        with pytest.raises(ValueError):
+            choose_l(0.0001, l_max=100)
+
+
+class TestChooseLForBudget:
+    def test_table1_configuration(self):
+        # The paper's 480k messages at N=100k funds approximately l=200.
+        l = choose_l_for_budget(480_000, size_hint=100_000)
+        assert 150 <= l <= 260
+
+    def test_fig18_configuration(self):
+        # ~100k messages at N=100k funds approximately l=10.
+        l = choose_l_for_budget(100_000, size_hint=100_000)
+        assert 5 <= l <= 15
+
+    def test_monotone_in_budget(self):
+        assert choose_l_for_budget(10**6, 10**5) > choose_l_for_budget(10**5, 10**5)
+
+    def test_budget_too_small(self):
+        with pytest.raises(ValueError, match="cannot fund"):
+            choose_l_for_budget(10, size_hint=100_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_l_for_budget(0, 100)
+        with pytest.raises(ValueError):
+            choose_l_for_budget(100, 0)
+
+
+class TestPlanEstimation:
+    def test_loose_target_prefers_sample_collide(self):
+        plan = plan_estimation(size_hint=100_000, target_rel_error=0.1)
+        assert plan.algorithm == "sample_collide"
+        assert plan.parameters["l"] == 100
+        assert plan.projected_messages < 2 * 100_000 * 50
+
+    def test_tight_target_prefers_aggregation(self):
+        # at 0.1% the required l makes S&C dearer than 50 rounds of gossip
+        plan = plan_estimation(size_hint=100_000, target_rel_error=0.001)
+        assert plan.algorithm == "aggregation"
+        assert plan.projected_rel_error == 0.0
+
+    def test_crossover_moves_with_n(self):
+        # Aggregation costs Θ(N) while S&C costs Θ(sqrt(N)): for a fixed
+        # target, bigger overlays favour S&C.
+        small = plan_estimation(size_hint=2_000, target_rel_error=0.02)
+        big = plan_estimation(size_hint=10_000_000, target_rel_error=0.02)
+        assert big.algorithm == "sample_collide"
+        # the rationale strings document the decision
+        assert "msgs" in small.rationale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_estimation(0, 0.1)
+        with pytest.raises(ValueError):
+            plan_estimation(100, 0.0)
+        with pytest.raises(ValueError):
+            plan_estimation(100, 1.5)
+
+
+class TestAdaptiveMonitor:
+    def test_probes_accumulate(self, het_graph):
+        monitor = AdaptiveMonitor(het_graph, target_rel_std=0.15, rng=1)
+        ests = monitor.probe_many(5)
+        assert len(ests) == len(monitor.history) == 5
+        assert monitor.total_cost() == sum(e.messages for e in ests)
+
+    def test_accuracy_target_met(self, het_graph):
+        monitor = AdaptiveMonitor(het_graph, target_rel_std=0.1, rng=2)
+        monitor.probe_many(12)
+        assert monitor.current_estimate == pytest.approx(het_graph.size, rel=0.12)
+
+    def test_l_derived_from_target(self, het_graph):
+        assert AdaptiveMonitor(het_graph, target_rel_std=0.1, rng=3).l == 100
+        assert AdaptiveMonitor(het_graph, target_rel_std=0.32, rng=3).l == 10
+
+    def test_tracks_growth(self):
+        g = heterogeneous_random(1_000, rng=4)
+        monitor = AdaptiveMonitor(g, target_rel_std=0.1, window=5, rng=5)
+        trace = growing_trace(1_000, 1.0, start=1, end=10, steps=10)  # double it
+        sched = ChurnScheduler(g, trace, rng=6)
+        for i in range(1, 11):
+            sched.advance_to(i)
+            monitor.probe()
+        for _ in range(5):  # settle the window on the final size
+            monitor.probe()
+        assert monitor.current_estimate == pytest.approx(2_000, rel=0.15)
+
+    def test_probe_many_validation(self, het_graph):
+        monitor = AdaptiveMonitor(het_graph, rng=7)
+        with pytest.raises(ValueError):
+            monitor.probe_many(-1)

@@ -1,0 +1,60 @@
+"""Tests for the estimator base types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import Estimate, EstimatorError, SizeEstimator
+from repro.overlay.graph import OverlayGraph
+from repro.sim.messages import MessageMeter
+
+
+class TestEstimate:
+    def test_quality(self):
+        est = Estimate(value=150.0, messages=10, algorithm="x")
+        assert est.quality(100) == pytest.approx(150.0)
+
+    def test_quality_invalid_true_size(self):
+        est = Estimate(value=150.0, messages=10, algorithm="x")
+        with pytest.raises(ValueError):
+            est.quality(0)
+
+    def test_meta_defaults_empty(self):
+        est = Estimate(value=1.0, messages=0, algorithm="x")
+        assert est.meta == {}
+
+    def test_frozen(self):
+        est = Estimate(value=1.0, messages=0, algorithm="x")
+        with pytest.raises(AttributeError):
+            est.value = 2.0
+
+
+class _Constant(SizeEstimator):
+    name = "constant"
+
+    def estimate(self):
+        self._require_nonempty()
+        return Estimate(value=float(self.graph.size), messages=0, algorithm=self.name)
+
+
+class TestSizeEstimatorBase:
+    def test_subclass_machinery(self, small_het_graph):
+        est = _Constant(small_het_graph, rng=1)
+        assert est.estimate().value == small_het_graph.size
+
+    def test_default_meter_created(self, small_het_graph):
+        est = _Constant(small_het_graph, rng=1)
+        assert isinstance(est.meter, MessageMeter)
+
+    def test_shared_meter_used(self, small_het_graph):
+        meter = MessageMeter()
+        est = _Constant(small_het_graph, rng=1, meter=meter)
+        assert est.meter is meter
+
+    def test_require_nonempty(self):
+        with pytest.raises(EstimatorError):
+            _Constant(OverlayGraph(), rng=1).estimate()
+
+    def test_abstract_cannot_instantiate(self, small_het_graph):
+        with pytest.raises(TypeError):
+            SizeEstimator(small_het_graph)  # type: ignore[abstract]

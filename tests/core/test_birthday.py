@@ -1,0 +1,150 @@
+"""Tests for the birthday-paradox mathematics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.birthday import (
+    collision_probability,
+    expected_collisions,
+    expected_draws_for_collisions,
+    expected_first_collision,
+    first_collision_pmf,
+    invert_first_collision,
+    relative_std,
+    sample_collide_estimate,
+)
+
+
+class TestCollisionProbability:
+    def test_classic_birthday_23(self):
+        # The paper's motivating fact: 23 people, 365 days => p >= 1/2.
+        assert collision_probability(365, 23) >= 0.5
+        assert collision_probability(365, 22) < 0.5
+
+    def test_boundaries(self):
+        assert collision_probability(100, 0) == 0.0
+        assert collision_probability(100, 1) == 0.0
+        assert collision_probability(100, 101) == 1.0
+
+    def test_two_draws(self):
+        assert collision_probability(4, 2) == pytest.approx(0.25)
+
+    def test_exhausts_to_one(self):
+        assert collision_probability(5, 6) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            collision_probability(0, 5)
+        with pytest.raises(ValueError):
+            collision_probability(10, -1)
+
+    @given(st.integers(1, 10_000), st.integers(0, 200))
+    @settings(max_examples=200, deadline=None)
+    def test_is_probability(self, n, k):
+        p = collision_probability(n, k)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(2, 5_000), st.integers(2, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_k(self, n, k):
+        assert collision_probability(n, k) <= collision_probability(n, k + 1) + 1e-12
+
+    @given(st.integers(2, 2_000), st.integers(2, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_decreasing_in_n(self, n, k):
+        assert collision_probability(n, k) + 1e-12 >= collision_probability(n + 1, k)
+
+
+class TestFirstCollisionPmf:
+    def test_matches_difference_identity(self):
+        # The paper's §III-A identity: P[X=K] = p(N,K) - p(N,K-1).
+        for k in range(2, 30):
+            expect = collision_probability(50, k) - collision_probability(50, k - 1)
+            assert first_collision_pmf(50, k) == pytest.approx(expect)
+
+    def test_zero_below_two(self):
+        assert first_collision_pmf(10, 0) == 0.0
+        assert first_collision_pmf(10, 1) == 0.0
+
+    def test_sums_to_one(self):
+        n = 40
+        total = sum(first_collision_pmf(n, k) for k in range(2, n + 2))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExpectedFirstCollision:
+    def test_exact_small_case(self):
+        # n=2: X=2 w.p. 1/2, X=3 w.p. 1/2 => E[X] = 2.5
+        assert expected_first_collision(2) == pytest.approx(2.5)
+
+    def test_matches_pmf_expectation(self):
+        n = 60
+        via_pmf = sum(k * first_collision_pmf(n, k) for k in range(2, n + 2))
+        assert expected_first_collision(n) == pytest.approx(via_pmf, rel=1e-6)
+
+    def test_asymptotic_branch_agrees(self):
+        # At the crossover the exact sum and sqrt(pi n/2)+2/3 agree closely.
+        n = 50_000
+        exact = expected_first_collision(n, exact_limit=100_000)
+        asym = expected_first_collision(n, exact_limit=10)
+        assert asym == pytest.approx(exact, rel=0.005)
+
+    def test_sqrt_scaling(self):
+        assert expected_first_collision(40_000) == pytest.approx(
+            2 * expected_first_collision(10_000), rel=0.02
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_first_collision(0)
+
+
+class TestEstimators:
+    def test_invert_first_collision(self):
+        assert invert_first_collision(10) == 50.0
+
+    def test_invert_requires_two(self):
+        with pytest.raises(ValueError):
+            invert_first_collision(1)
+
+    def test_expected_collisions_identity(self):
+        assert expected_collisions(100, 10) == pytest.approx(0.45)
+
+    def test_draws_inverts_collisions(self):
+        n, l = 5_000, 37
+        c = expected_draws_for_collisions(n, l)
+        assert expected_collisions(n, int(round(c))) == pytest.approx(l, rel=0.05)
+
+    def test_sample_collide_estimate_roundtrip(self):
+        # With C = sqrt(2 l N) draws, the estimate recovers N.
+        n, l = 20_000, 200
+        c = int(round(math.sqrt(2 * l * n)))
+        assert sample_collide_estimate(c, l) == pytest.approx(n, rel=0.05)
+
+    def test_sample_collide_estimate_validation(self):
+        with pytest.raises(ValueError):
+            sample_collide_estimate(10, 0)
+        with pytest.raises(ValueError):
+            sample_collide_estimate(1, 1)
+
+    def test_relative_std_values(self):
+        assert relative_std(200) == pytest.approx(1 / math.sqrt(200))
+        assert relative_std(10) == pytest.approx(0.316, rel=0.01)
+        with pytest.raises(ValueError):
+            relative_std(0)
+
+    @given(st.integers(2, 10**6), st.integers(1, 1_000))
+    @settings(max_examples=200, deadline=None)
+    def test_estimator_positive(self, draws, l):
+        assert sample_collide_estimate(draws, l) > 0
+
+    @given(st.integers(1, 10**7), st.integers(1, 500))
+    @settings(max_examples=200, deadline=None)
+    def test_draws_monotone_in_both(self, n, l):
+        assert expected_draws_for_collisions(n, l) <= expected_draws_for_collisions(n + 1, l)
+        assert expected_draws_for_collisions(n, l) <= expected_draws_for_collisions(n, l + 1)

@@ -1,0 +1,148 @@
+"""Tests for the analytic convergence models vs measured behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationProtocol
+from repro.core.convergence import (
+    IDEAL_CONTRACTION,
+    aggregation_contraction_rate,
+    aggregation_rounds_needed,
+    epidemic_fixed_point,
+    epidemic_rounds_to_saturation,
+    sample_collide_expected_messages,
+    sample_collide_expected_samples,
+)
+from repro.core.hops_sampling import HopsSamplingEstimator
+from repro.core.sample_collide import SampleCollideEstimator
+from repro.overlay.builders import heterogeneous_random
+
+
+class TestAggregationModel:
+    def test_paper_pair(self):
+        # The paper's observation: ~40 rounds at 1e5, ~50 at 1e6 (plot
+        # resolution ±5); the rho=0.5 model brackets both.
+        r_100k = aggregation_rounds_needed(100_000, eps=0.001)
+        r_1m = aggregation_rounds_needed(1_000_000, eps=0.001)
+        assert 32 <= r_100k <= 45
+        assert 35 <= r_1m <= 55
+        assert r_1m > r_100k
+
+    def test_log_n_scaling(self):
+        base = aggregation_rounds_needed(10_000)
+        # multiplying N by rho^-1 = 2 adds exactly one round (log base 1/rho)
+        assert aggregation_rounds_needed(20_000) == base + 1
+
+    def test_rates(self):
+        assert aggregation_contraction_rate(ideal=True) == IDEAL_CONTRACTION
+        assert IDEAL_CONTRACTION == pytest.approx(1 / (2 * math.sqrt(math.e)))
+        assert 0 < IDEAL_CONTRACTION < aggregation_contraction_rate() < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregation_rounds_needed(0)
+        with pytest.raises(ValueError):
+            aggregation_rounds_needed(10, eps=0.0)
+        with pytest.raises(ValueError):
+            aggregation_rounds_needed(10, rho=1.0)
+
+    def test_measured_contraction_matches_rate(self):
+        """Empirical per-round variance contraction on the paper's overlay
+        sits near the model's rho=0.25 (and above the ideal 0.1839)."""
+        g = heterogeneous_random(2_000, rng=1)
+        proto = AggregationProtocol(g, rng=2)
+        proto.start_epoch()
+        proto.run_rounds(5)  # skip the spiky transient
+        ratios = []
+        prev = None
+        for _ in range(10):
+            proto.run_round()
+            vals = np.array([proto.value_of(u) for u in g.nodes()])
+            var = float(vals.var())
+            if prev and prev > 0:
+                ratios.append(var / prev)
+            prev = var
+        measured = float(np.mean(ratios))
+        # above the ideal uniform-peer rate, in the neighbourhood of the
+        # model's empirical rho=0.5
+        assert IDEAL_CONTRACTION < measured < 0.65
+
+    def test_prediction_matches_measured_convergence(self):
+        g = heterogeneous_random(2_000, rng=3)
+        proto = AggregationProtocol(g, rng=4)
+        proto.start_epoch()
+        predicted = aggregation_rounds_needed(2_000, eps=0.01)
+        for r in range(1, 100):
+            proto.run_round()
+            if abs(proto.read().value - g.size) / g.size < 0.01:
+                measured = r
+                break
+        else:  # pragma: no cover
+            pytest.fail("never converged")
+        assert abs(measured - predicted) <= 8
+
+
+class TestEpidemicModel:
+    def test_fixed_point_values(self):
+        assert epidemic_fixed_point(1.0) == 0.0
+        assert epidemic_fixed_point(0.5) == 0.0
+        assert epidemic_fixed_point(2.0) == pytest.approx(0.7968, abs=0.001)
+        assert epidemic_fixed_point(5.0) > 0.99
+
+    def test_fixed_point_monotone(self):
+        zs = [epidemic_fixed_point(c) for c in (1.5, 2.0, 3.0, 4.0)]
+        assert zs == sorted(zs)
+
+    def test_matches_measured_coverage(self):
+        """Measured spread coverage implies an effective fanout between the
+        raw 2 and 2 + gossip_until extra sends."""
+        g = heterogeneous_random(3_000, rng=5)
+        covs = [
+            HopsSamplingEstimator(g, rng=s).estimate().meta["coverage"]
+            for s in range(8)
+        ]
+        measured = float(np.mean(covs))
+        assert epidemic_fixed_point(2.0) - 0.03 < measured < epidemic_fixed_point(3.2)
+
+    def test_rounds_to_saturation(self):
+        assert epidemic_rounds_to_saturation(100_000, 2.0) == pytest.approx(20, abs=2)
+        with pytest.raises(ValueError):
+            epidemic_rounds_to_saturation(100, 1.0)
+        with pytest.raises(ValueError):
+            epidemic_rounds_to_saturation(0, 2.0)
+
+    def test_bounds_measured_spread_rounds(self):
+        # Growth-phase prediction lower-bounds the measured quiescence
+        # (which includes the re-gossip endgame) and stays within 4x.
+        g = heterogeneous_random(3_000, rng=6)
+        est = HopsSamplingEstimator(g, rng=7).estimate()
+        predicted = epidemic_rounds_to_saturation(3_000, 2.4)
+        assert predicted <= est.meta["spread_rounds"] <= 4 * predicted
+
+
+class TestSampleCollideModel:
+    def test_expected_samples(self):
+        assert sample_collide_expected_samples(100_000, 200) == pytest.approx(6_325, abs=5)
+
+    def test_table1_cell(self):
+        msgs = sample_collide_expected_messages(100_000, 200)
+        assert msgs == pytest.approx(480_000, rel=0.05)  # the paper's 0.5M
+
+    def test_matches_measured_draws(self):
+        g = heterogeneous_random(3_000, rng=8)
+        draws = [
+            SampleCollideEstimator(g, l=100, rng=s).estimate().meta["draws"]
+            for s in range(8)
+        ]
+        predicted = sample_collide_expected_samples(3_000, 100)
+        assert np.mean(draws) == pytest.approx(predicted, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_collide_expected_samples(0, 10)
+        with pytest.raises(ValueError):
+            sample_collide_expected_messages(100, 10, timer=0)

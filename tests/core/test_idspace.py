@@ -1,0 +1,173 @@
+"""Tests for the identifier-space substrate and id-density estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import EstimatorError
+from repro.core.idspace import (
+    IdentifierSpace,
+    IntervalDensityEstimator,
+    NeighborDistanceEstimator,
+)
+from repro.overlay.builders import heterogeneous_random
+from repro.overlay.graph import OverlayGraph
+from repro.sim.messages import MessageKind, MessageMeter
+
+
+class TestIdentifierSpace:
+    def test_ids_in_unit_interval(self, small_het_graph):
+        space = IdentifierSpace(small_het_graph, rng=1)
+        for u in list(small_het_graph.nodes())[:50]:
+            assert 0.0 <= space.id_of(u) < 1.0
+
+    def test_ids_stable(self, small_het_graph):
+        space = IdentifierSpace(small_het_graph, rng=1)
+        u = small_het_graph.random_node(0)
+        assert space.id_of(u) == space.id_of(u)
+
+    def test_dead_node_rejected(self, small_het_graph):
+        space = IdentifierSpace(small_het_graph, rng=1)
+        with pytest.raises(EstimatorError):
+            space.id_of(10**9)
+
+    def test_size_tracks_membership(self):
+        g = heterogeneous_random(100, rng=2)
+        space = IdentifierSpace(g, rng=3)
+        assert space.size == 100
+        g.remove_node(g.random_node(0))
+        space.refresh()
+        assert space.size == 99
+
+    def test_arc_of_all_nodes_is_full_circle(self):
+        g = OverlayGraph(nodes=range(10))
+        space = IdentifierSpace(g, rng=4)
+        assert space.arc_of_k_nearest(0.5, 10) == 1.0
+
+    def test_arc_monotone_in_k(self):
+        g = OverlayGraph(nodes=range(200))
+        space = IdentifierSpace(g, rng=5)
+        arcs = [space.arc_of_k_nearest(0.3, k) for k in (5, 20, 80)]
+        assert arcs == sorted(arcs)
+
+    def test_arc_k_too_large(self):
+        g = OverlayGraph(nodes=range(5))
+        space = IdentifierSpace(g, rng=6)
+        with pytest.raises(EstimatorError):
+            space.arc_of_k_nearest(0.1, 6)
+        with pytest.raises(ValueError):
+            space.arc_of_k_nearest(0.1, 0)
+
+    def test_successor_gaps_sum_to_partial_circle(self):
+        g = OverlayGraph(nodes=range(50))
+        space = IdentifierSpace(g, rng=7)
+        u = 3
+        space.refresh()
+        gaps = space.successor_gaps(u, 49)
+        assert sum(gaps) == pytest.approx(1.0 - 0.0, abs=1.0)  # < full circle
+        assert all(gap >= 0 for gap in gaps)
+
+    def test_successor_gaps_validation(self):
+        g = OverlayGraph(nodes=range(5))
+        space = IdentifierSpace(g, rng=8)
+        with pytest.raises(ValueError):
+            space.successor_gaps(0, 0)
+        with pytest.raises(EstimatorError):
+            space.successor_gaps(0, 5)
+
+
+class TestIntervalDensity:
+    def test_accuracy_scales_with_k(self):
+        g = heterogeneous_random(3_000, rng=9)
+        space = IdentifierSpace(g, rng=10)
+        lo = [
+            IntervalDensityEstimator(g, space=space, k=8, rng=s).estimate().value
+            for s in range(25)
+        ]
+        hi = [
+            IntervalDensityEstimator(g, space=space, k=200, rng=s).estimate().value
+            for s in range(25)
+        ]
+        assert np.std(hi) < np.std(lo)
+
+    def test_unbiased_mean(self):
+        g = heterogeneous_random(2_000, rng=11)
+        space = IdentifierSpace(g, rng=12)
+        vals = [
+            IntervalDensityEstimator(g, space=space, k=100, rng=s).estimate().value
+            for s in range(30)
+        ]
+        assert np.mean(vals) == pytest.approx(2_000, rel=0.1)
+
+    def test_message_cost_is_k(self):
+        g = heterogeneous_random(500, rng=13)
+        meter = MessageMeter()
+        est = IntervalDensityEstimator(g, k=40, rng=14, meter=meter).estimate()
+        assert est.messages == 40
+        assert meter.count(MessageKind.WALK) == 40
+
+    def test_k_validation(self, small_het_graph):
+        with pytest.raises(ValueError):
+            IntervalDensityEstimator(small_het_graph, k=1)
+
+    def test_k_exceeds_population(self):
+        g = OverlayGraph(nodes=range(10))
+        with pytest.raises(EstimatorError):
+            IntervalDensityEstimator(g, k=50, rng=1).estimate()
+
+    def test_empty_overlay(self):
+        with pytest.raises(EstimatorError):
+            IntervalDensityEstimator(OverlayGraph(), k=2).estimate()
+
+    def test_tracks_churn_after_refresh(self):
+        g = heterogeneous_random(1_000, rng=15)
+        space = IdentifierSpace(g, rng=16)
+        for u in list(g.nodes())[:500]:
+            g.remove_node(u)
+        vals = [
+            IntervalDensityEstimator(g, space=space, k=60, rng=s).estimate().value
+            for s in range(20)
+        ]
+        assert np.mean(vals) == pytest.approx(500, rel=0.15)
+
+
+class TestNeighborDistance:
+    def test_unbiased_mean(self):
+        g = heterogeneous_random(2_000, rng=17)
+        space = IdentifierSpace(g, rng=18)
+        vals = [
+            NeighborDistanceEstimator(g, space=space, gaps=32, rng=s).estimate().value
+            for s in range(30)
+        ]
+        assert np.mean(vals) == pytest.approx(2_000, rel=0.25)
+
+    def test_more_gaps_less_variance(self):
+        g = heterogeneous_random(2_000, rng=19)
+        space = IdentifierSpace(g, rng=20)
+        lo = [
+            NeighborDistanceEstimator(g, space=space, gaps=2, rng=s).estimate().value
+            for s in range(25)
+        ]
+        hi = [
+            NeighborDistanceEstimator(g, space=space, gaps=64, rng=s).estimate().value
+            for s in range(25)
+        ]
+        assert np.std(hi) < np.std(lo)
+
+    def test_message_cost(self):
+        g = heterogeneous_random(300, rng=21)
+        est = NeighborDistanceEstimator(g, gaps=10, rng=22).estimate()
+        assert est.messages == 10
+
+    def test_validation(self, small_het_graph):
+        with pytest.raises(ValueError):
+            NeighborDistanceEstimator(small_het_graph, gaps=0)
+
+    def test_registry_integration(self, small_het_graph):
+        from repro.core.registry import create
+
+        est = create("interval_density", small_het_graph, k=10, rng=1).estimate()
+        assert est.value > 0
+        est = create("neighbor_distance", small_het_graph, gaps=8, rng=1).estimate()
+        assert est.value > 0

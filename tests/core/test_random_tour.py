@@ -1,0 +1,111 @@
+"""Tests for the Random Tour baseline estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import EstimatorError
+from repro.core.random_tour import RandomTourEstimator
+from repro.overlay.builders import heterogeneous_random, ring_lattice
+from repro.overlay.graph import OverlayGraph
+from repro.sim.messages import MessageKind, MessageMeter
+
+
+def _complete_graph(n: int) -> OverlayGraph:
+    g = OverlayGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+class TestCorrectness:
+    def test_positive_estimate(self, small_het_graph):
+        est = RandomTourEstimator(small_het_graph, rng=1).estimate()
+        assert est.value > 0
+        assert est.algorithm == "random_tour"
+
+    def test_unbiased_mean_on_regular_graph(self):
+        # On a d-regular graph, N̂ = d * (tour length)/d = number of steps
+        # counted; E equals N exactly.  Return times are heavy-tailed
+        # (per-tour relative std is several 100%), so averaging needs many
+        # tours even on a 60-node ring.
+        g = ring_lattice(60, k=2)
+        vals = [RandomTourEstimator(g, rng=s).estimate().value for s in range(2_500)]
+        assert np.mean(vals) == pytest.approx(60, rel=0.15)
+
+    def test_unbiased_mean_on_heterogeneous_graph(self):
+        g = heterogeneous_random(120, rng=4)
+        vals = [RandomTourEstimator(g, rng=s).estimate().value for s in range(500)]
+        assert np.mean(vals) == pytest.approx(g.size, rel=0.2)
+
+    def test_two_node_graph_exact(self):
+        # Tour from either node returns in exactly 2 hops; phi = 1/1 + 1/1
+        # = 2; estimate = 1 * 2 = 2 = N, deterministically.
+        g = OverlayGraph(nodes=[0, 1], edges=[(0, 1)])
+        est = RandomTourEstimator(g, initiator=0, rng=1).estimate()
+        assert est.value == pytest.approx(2.0)
+        assert est.meta["hops"] == 2
+
+    def test_complete_graph_mean(self):
+        g = _complete_graph(12)
+        vals = [RandomTourEstimator(g, rng=s).estimate().value for s in range(400)]
+        assert np.mean(vals) == pytest.approx(12, rel=0.15)
+
+    def test_meta_contents(self, small_het_graph):
+        est = RandomTourEstimator(small_het_graph, rng=3).estimate()
+        assert est.meta["hops"] >= 1
+        assert est.meta["phi"] > 0
+        assert est.meta["initiator_degree"] >= 1
+
+
+class TestOverhead:
+    def test_messages_equal_hops(self, small_het_graph):
+        meter = MessageMeter()
+        est = RandomTourEstimator(small_het_graph, rng=5, meter=meter).estimate()
+        assert est.messages == est.meta["hops"]
+        assert meter.count(MessageKind.WALK) == est.meta["hops"]
+
+    def test_expected_cost_theta_n(self):
+        # Mean tour length is 2m/deg(i); averaged over initiators that is
+        # Θ(N).  Check the factor-of-n scaling between two sizes.
+        small = heterogeneous_random(200, rng=6)
+        big = heterogeneous_random(800, rng=7)
+        m_small = np.mean(
+            [RandomTourEstimator(small, rng=s).estimate().messages for s in range(150)]
+        )
+        m_big = np.mean(
+            [RandomTourEstimator(big, rng=s).estimate().messages for s in range(150)]
+        )
+        assert m_big / m_small == pytest.approx(4.0, rel=0.5)
+
+
+class TestErrors:
+    def test_empty_overlay(self):
+        with pytest.raises(EstimatorError):
+            RandomTourEstimator(OverlayGraph()).estimate()
+
+    def test_isolated_initiator(self):
+        g = OverlayGraph(nodes=[0, 1], edges=[])
+        with pytest.raises(EstimatorError, match="isolated"):
+            RandomTourEstimator(g, initiator=0, rng=1).estimate()
+
+    def test_departed_initiator(self):
+        g = heterogeneous_random(50, rng=8)
+        est = RandomTourEstimator(g, initiator=0, rng=8)
+        g.remove_node(0)
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_max_hops_abort(self):
+        # max_hops=1 aborts deterministically: the first hop can never be a
+        # return (no self-loops), so the budget is spent before any return.
+        g = ring_lattice(500, k=1)
+        with pytest.raises(EstimatorError, match="no return"):
+            RandomTourEstimator(g, rng=9, max_hops=1).estimate()
+
+    def test_deterministic(self, small_het_graph):
+        a = RandomTourEstimator(small_het_graph, rng=11).estimate()
+        b = RandomTourEstimator(small_het_graph, rng=11).estimate()
+        assert a.value == b.value

@@ -1,0 +1,83 @@
+"""Tests for the estimator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import registry
+from repro.core.aggregation import AggregationProtocol
+from repro.core.hops_sampling import HopsSamplingEstimator
+from repro.core.registry import RegistryError, available, create, register
+from repro.core.sample_collide import SampleCollideEstimator
+
+
+class TestBuiltins:
+    def test_all_candidates_registered(self):
+        names = available()
+        for expected in (
+            "sample_collide",
+            "hops_sampling",
+            "aggregation",
+            "inverted_birthday",
+            "random_tour",
+            "gossip_sample",
+        ):
+            assert expected in names
+
+    def test_create_sample_collide(self, small_het_graph):
+        est = create("sample_collide", small_het_graph, l=20, rng=1)
+        assert isinstance(est, SampleCollideEstimator)
+        assert est.l == 20
+
+    def test_create_hops(self, small_het_graph):
+        est = create("hops_sampling", small_het_graph, rng=1)
+        assert isinstance(est, HopsSamplingEstimator)
+
+    def test_create_aggregation(self, small_het_graph):
+        proto = create("aggregation", small_het_graph, rng=1)
+        assert isinstance(proto, AggregationProtocol)
+
+    def test_created_estimators_run(self, small_het_graph):
+        for name in ("sample_collide", "hops_sampling", "random_tour"):
+            est = create(name, small_het_graph, rng=2)
+            assert est.estimate().value > 0
+
+
+class TestRegistration:
+    def test_unknown_name(self, small_het_graph):
+        with pytest.raises(RegistryError, match="unknown estimator"):
+            create("nope", small_het_graph)
+
+    def test_register_and_create_custom(self, small_het_graph):
+        class Fake:
+            def __init__(self, graph, **kw):
+                self.graph = graph
+
+            def estimate(self):
+                return None
+
+        register("fake_estimator_for_test", Fake)
+        try:
+            obj = create("fake_estimator_for_test", small_het_graph)
+            assert isinstance(obj, Fake)
+        finally:
+            registry._FACTORIES.pop("fake_estimator_for_test", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("sample_collide", lambda g: None)
+
+    def test_overwrite_flag(self):
+        original = registry._FACTORIES["sample_collide"]
+        try:
+            register("sample_collide", original, overwrite=True)
+        finally:
+            registry._FACTORIES["sample_collide"] = original
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            register("", lambda g: None)
+
+    def test_available_is_sorted(self):
+        names = available()
+        assert names == sorted(names)

@@ -1,0 +1,172 @@
+"""Tests for Sample&Collide and the inverted-birthday baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import EstimatorError
+from repro.core.sample_collide import InvertedBirthdayEstimator, SampleCollideEstimator
+from repro.overlay.builders import heterogeneous_random
+from repro.overlay.graph import OverlayGraph
+from repro.sim.messages import MessageKind, MessageMeter
+
+
+class TestEstimateBasics:
+    def test_returns_positive_estimate(self, het_graph):
+        est = SampleCollideEstimator(het_graph, l=50, rng=1).estimate()
+        assert est.value > 0
+        assert est.algorithm == "sample_collide"
+
+    def test_accuracy_at_l200(self, het_graph):
+        # Relative std at l=200 is ~7%; a single run must land well within
+        # 4 sigma of the truth.
+        est = SampleCollideEstimator(het_graph, l=200, rng=2).estimate()
+        assert est.quality(het_graph.size) == pytest.approx(100, abs=30)
+
+    def test_unbiased_over_repetitions(self, het_graph):
+        vals = [
+            SampleCollideEstimator(het_graph, l=100, rng=100 + s).estimate().value
+            for s in range(25)
+        ]
+        mean_quality = 100 * np.mean(vals) / het_graph.size
+        assert mean_quality == pytest.approx(100, abs=8)
+
+    def test_higher_l_reduces_variance(self, het_graph):
+        lo = [
+            SampleCollideEstimator(het_graph, l=5, rng=s).estimate().value
+            for s in range(20)
+        ]
+        hi = [
+            SampleCollideEstimator(het_graph, l=200, rng=s).estimate().value
+            for s in range(20)
+        ]
+        assert np.std(hi) < np.std(lo)
+
+    def test_meta_fields(self, het_graph):
+        est = SampleCollideEstimator(het_graph, l=20, rng=3).estimate()
+        assert est.meta["collisions"] >= 20
+        assert est.meta["draws"] > est.meta["collisions"]
+        assert est.meta["distinct"] <= est.meta["draws"]
+        assert est.meta["l"] == 20
+
+    def test_deterministic_given_seed(self, het_graph):
+        a = SampleCollideEstimator(het_graph, l=30, rng=9).estimate()
+        b = SampleCollideEstimator(het_graph, l=30, rng=9).estimate()
+        assert a.value == b.value
+        assert a.messages == b.messages
+
+    def test_fixed_initiator(self, het_graph):
+        init = het_graph.random_node(0)
+        est = SampleCollideEstimator(het_graph, l=20, initiator=init, rng=4).estimate()
+        assert est.meta["initiator"] == init
+
+    def test_departed_initiator_rejected(self):
+        g = heterogeneous_random(100, rng=5)
+        est = SampleCollideEstimator(g, l=5, initiator=0, rng=5)
+        g.remove_node(0)
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(EstimatorError):
+            SampleCollideEstimator(OverlayGraph(), l=5).estimate()
+
+    def test_invalid_l(self, small_het_graph):
+        with pytest.raises(ValueError):
+            SampleCollideEstimator(small_het_graph, l=0)
+
+    def test_single_node_graph(self):
+        g = OverlayGraph(nodes=[0])
+        est = SampleCollideEstimator(g, l=3, rng=6).estimate()
+        # Every sample is the initiator; collisions come instantly and the
+        # estimate collapses to ~1.
+        assert est.value <= 3
+
+
+class TestOverheadAccounting:
+    def test_messages_match_meter_delta(self, het_graph):
+        meter = MessageMeter()
+        meter.add(MessageKind.CONTROL, 123)  # pre-existing traffic
+        est = SampleCollideEstimator(het_graph, l=30, rng=7, meter=meter).estimate()
+        assert est.messages == meter.total - 123
+
+    def test_walk_and_reply_split(self, het_graph):
+        meter = MessageMeter()
+        est = SampleCollideEstimator(het_graph, l=30, rng=8, meter=meter).estimate()
+        assert meter.count(MessageKind.REPLY) == est.meta["draws"]
+        assert meter.count(MessageKind.WALK) == est.meta["walk_hops"]
+
+    def test_cost_scales_with_sqrt_l(self, het_graph):
+        # cost(l=200)/cost(l=50) ≈ sqrt(4) = 2.
+        m50 = np.mean([
+            SampleCollideEstimator(het_graph, l=50, rng=s).estimate().messages
+            for s in range(5)
+        ])
+        m200 = np.mean([
+            SampleCollideEstimator(het_graph, l=200, rng=s).estimate().messages
+            for s in range(5)
+        ])
+        assert m200 / m50 == pytest.approx(2.0, rel=0.2)
+
+    def test_cost_scales_with_sqrt_n(self):
+        g_small = heterogeneous_random(500, rng=11)
+        g_big = heterogeneous_random(2_000, rng=12)
+        m_small = np.mean([
+            SampleCollideEstimator(g_small, l=50, rng=s).estimate().messages
+            for s in range(5)
+        ])
+        m_big = np.mean([
+            SampleCollideEstimator(g_big, l=50, rng=s).estimate().messages
+            for s in range(5)
+        ])
+        assert m_big / m_small == pytest.approx(2.0, rel=0.3)  # sqrt(4x)
+
+
+class TestInvertedBirthday:
+    def test_positive_estimate(self, het_graph):
+        est = InvertedBirthdayEstimator(het_graph, rng=1).estimate()
+        assert est.value > 0
+        assert est.algorithm == "inverted_birthday"
+
+    def test_mean_order_of_magnitude(self, het_graph):
+        # X^2/2 has ~100% relative std; the mean over many runs lands near N
+        # (E[X^2]/2 = N + O(sqrt N)) but individual runs roam widely.
+        vals = [
+            InvertedBirthdayEstimator(het_graph, rng=s).estimate().value
+            for s in range(60)
+        ]
+        assert np.mean(vals) == pytest.approx(het_graph.size, rel=0.45)
+
+    def test_noisier_than_sample_collide(self, het_graph):
+        ib = [
+            InvertedBirthdayEstimator(het_graph, rng=s).estimate().value
+            for s in range(20)
+        ]
+        sc = [
+            SampleCollideEstimator(het_graph, l=100, rng=s).estimate().value
+            for s in range(20)
+        ]
+        assert np.std(ib) > 2 * np.std(sc)
+
+    def test_meter_accounting(self, het_graph):
+        meter = MessageMeter()
+        est = InvertedBirthdayEstimator(het_graph, rng=5, meter=meter).estimate()
+        assert meter.count(MessageKind.REPLY) == est.meta["draws"]
+        assert est.messages == meter.total
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(EstimatorError):
+            InvertedBirthdayEstimator(OverlayGraph()).estimate()
+
+    def test_departed_initiator_rejected(self):
+        g = heterogeneous_random(50, rng=5)
+        est = InvertedBirthdayEstimator(g, initiator=0, rng=5)
+        g.remove_node(0)
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_deterministic(self, small_het_graph):
+        a = InvertedBirthdayEstimator(small_het_graph, rng=3).estimate()
+        b = InvertedBirthdayEstimator(small_het_graph, rng=3).estimate()
+        assert a.value == b.value

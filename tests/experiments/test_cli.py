@@ -1,0 +1,66 @@
+"""Tests for the repro-experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FIGURES, TABLES
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_targets_accepted(self):
+        parser = build_parser()
+        for name in list(FIGURES) + list(TABLES) + ["all", "list"]:
+            args = parser.parse_args([name])
+            assert args.target == name
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["fig1", "--scale", "small"])
+        assert args.scale == "small"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--scale", "gigantic"])
+
+    def test_seed_and_csv(self, tmp_path):
+        args = build_parser().parse_args(
+            ["table1", "--seed", "9", "--csv-dir", str(tmp_path)]
+        )
+        assert args.seed == 9
+        assert args.csv_dir == tmp_path
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table1" in out
+
+    def test_run_figure_renders_chart(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        # fig7 is the fastest figure (graph construction only).
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out
+        assert "legend" in out
+
+    def test_run_table_renders_rows(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["ablation_hops_oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle distances" in out
+
+    def test_csv_output(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["fig7", "--csv-dir", str(tmp_path), "--quiet"]) == 0
+        csv_file = tmp_path / "fig7.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().startswith("figure,curve,x,y")
+
+    def test_quiet_suppresses_chart(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        main(["fig7", "--quiet"])
+        assert "legend" not in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""CLI 'all' target, isolated from the real (slow) experiments by stubbing
+the experiment registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.curves import FigureResult, TableResult
+from repro.experiments import cli
+
+
+@pytest.fixture
+def stub_experiments(monkeypatch):
+    calls = []
+
+    def fake_figure(scale=None, seed=None):
+        calls.append(("figX", scale, seed))
+        fig = FigureResult("figX", "stub", "x", "y")
+        fig.add("c", [1, 2], [3, 4])
+        return fig
+
+    def fake_table(scale=None, seed=None):
+        calls.append(("tabX", scale, seed))
+        t = TableResult("tabX", "stub", columns=["a"])
+        t.add_row(a=1)
+        return t
+
+    monkeypatch.setattr(cli, "FIGURES", {"figX": fake_figure})
+    monkeypatch.setattr(cli, "TABLES", {"tabX": fake_table})
+    return calls
+
+
+class TestAllTarget:
+    def test_all_runs_every_experiment(self, stub_experiments, capsys):
+        # the parser still validates against the real registry, so drive
+        # _run_one through main's loop with a synthetic namespace
+        parser_args = cli.build_parser().parse_args(["list"])  # placeholder
+        parser_args.target = "all"
+        parser_args.scale = "small"
+        parser_args.seed = 7
+        parser_args.csv_dir = None
+        parser_args.quiet = False
+        for name in sorted(cli.FIGURES) + sorted(cli.TABLES):
+            cli._run_one(name, parser_args)
+        ran = [c[0] for c in stub_experiments]
+        assert ran == ["figX", "tabX"]
+        assert all(c[1] == "small" and c[2] == 7 for c in stub_experiments)
+        out = capsys.readouterr().out
+        assert "figX" in out and "tabX" in out
+
+    def test_csv_written_for_each(self, stub_experiments, tmp_path, capsys):
+        args = cli.build_parser().parse_args(["list"])
+        args.target = "all"
+        args.scale = None
+        args.seed = None
+        args.csv_dir = tmp_path
+        args.quiet = True
+        for name in sorted(cli.FIGURES) + sorted(cli.TABLES):
+            cli._run_one(name, args)
+        assert (tmp_path / "figX.csv").exists()
+        assert (tmp_path / "tabX.csv").exists()

@@ -1,0 +1,73 @@
+"""Tests for experiment scale presets and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentConfig, Scale, resolve_scale
+
+
+class TestResolveScale:
+    def test_by_name(self):
+        assert resolve_scale("small").name == "small"
+        assert resolve_scale("paper").n_1m == 1_000_000
+
+    def test_passthrough(self, tiny_scale):
+        assert resolve_scale(tiny_scale) is tiny_scale
+
+    def test_default_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert resolve_scale(None).name == "small"
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale(None).name == "default"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            resolve_scale("huge")
+
+    def test_case_insensitive(self):
+        assert resolve_scale("SMALL").name == "small"
+
+
+class TestScales:
+    def test_all_presets_monotone(self):
+        assert SCALES["small"].n_100k < SCALES["default"].n_100k < SCALES["paper"].n_100k
+        assert SCALES["paper"].n_100k == 100_000
+        assert SCALES["paper"].n_1m == 1_000_000
+
+    def test_paper_preset_matches_paper_parameters(self):
+        p = SCALES["paper"]
+        assert p.static_estimations == 100
+        assert p.aggregation_horizon == 10_000
+        assert p.restart_interval == 50
+
+    def test_scaled_events(self):
+        small = SCALES["small"]
+        t1, t2, t3 = small.scaled_events(100.0, 500.0, 700.0)
+        f = small.aggregation_horizon / 10_000.0
+        assert (t1, t2, t3) == (
+            max(1, round(100 * f)),
+            max(1, round(500 * f)),
+            max(1, round(700 * f)),
+        )
+
+    def test_scaled_events_identity_at_paper_scale(self):
+        assert SCALES["paper"].scaled_events(100.0, 700.0) == (100.0, 700.0)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.sc_l == 200
+        assert cfg.sc_timer == 10.0
+        assert cfg.hops_fanout == 2
+        assert cfg.hops_min_reporting == 5
+        assert cfg.last_runs_window == 10
+        assert cfg.max_degree == 10
+
+    def test_with_scale(self):
+        cfg = ExperimentConfig().with_scale("small")
+        assert cfg.scale.name == "small"
+        assert cfg.sc_l == 200  # everything else preserved

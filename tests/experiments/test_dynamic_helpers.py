@@ -1,0 +1,55 @@
+"""Tests for the dynamic-experiment internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamic import _probe_trace
+
+
+class TestProbeTrace:
+    def test_catastrophic_schedule(self):
+        trace = _probe_trace("catastrophic", 1_000, 90)
+        times = [e.time for e in trace]
+        assert times == [30.0, 60.0]
+        # two sequential -25%: 1000 -> 750 -> 562 (187.5 rounds to 188)
+        assert trace.net_change(1_000) == 562
+
+    def test_growing_total(self):
+        trace = _probe_trace("growing", 1_000, 50)
+        assert trace.net_change(1_000) == 1_500
+
+    def test_shrinking_total(self):
+        trace = _probe_trace("shrinking", 1_000, 50)
+        assert trace.net_change(1_000) == 500
+
+    def test_events_within_horizon(self):
+        for kind in ("growing", "shrinking"):
+            trace = _probe_trace(kind, 500, 40)
+            assert all(1.0 <= e.time <= 40.0 for e in trace)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            _probe_trace("exploding", 100, 10)
+
+
+class TestDynamicFigureInternals:
+    def test_streams_share_true_size(self, tiny_scale):
+        """All three estimation streams in a dynamic figure observe the
+        same churning overlay (same Real curve)."""
+        from repro.experiments.dynamic import fig10_sc_growing
+
+        fig = fig10_sc_growing(scale=tiny_scale)
+        real = fig.curve("Real network size")
+        for k in (1, 2, 3):
+            est = fig.curve(f"Estimation #{k}")
+            assert np.array_equal(est.x, real.x)
+
+    def test_streams_are_distinct(self, tiny_scale):
+        from repro.experiments.dynamic import fig10_sc_growing
+
+        fig = fig10_sc_growing(scale=tiny_scale)
+        e1 = fig.curve("Estimation #1").y
+        e2 = fig.curve("Estimation #2").y
+        assert not np.array_equal(e1, e2)

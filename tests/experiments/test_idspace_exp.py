@@ -1,0 +1,38 @@
+"""Tests for the structured-vs-unstructured ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.idspace_exp import idspace_comparison
+
+
+class TestIdspaceComparison:
+    def test_rows_and_columns(self, tiny_scale):
+        table = idspace_comparison(scale=tiny_scale)
+        assert len(table.rows) == 3
+        assumptions = table.column("assumption")
+        assert "uniform ids (DHT)" in assumptions
+        assert "skewed ids (broken)" in assumptions
+        assert "none (any overlay)" in assumptions
+
+    def test_uniform_ids_cheap_and_accurate(self, tiny_scale):
+        table = idspace_comparison(scale=tiny_scale)
+        by = {r["assumption"]: r for r in table.rows}
+        uniform = by["uniform ids (DHT)"]
+        sc = by["none (any overlay)"]
+        assert uniform["mean_messages"] < sc["mean_messages"] / 20
+        assert uniform["mean_abs_error_pct"] < 25  # order-statistic noise at tiny n
+
+    def test_skew_breaks_density_estimation(self, tiny_scale):
+        table = idspace_comparison(scale=tiny_scale)
+        by = {r["assumption"]: r for r in table.rows}
+        assert (
+            by["skewed ids (broken)"]["mean_abs_error_pct"]
+            > 2 * by["uniform ids (DHT)"]["mean_abs_error_pct"]
+        )
+
+    def test_deterministic(self, tiny_scale):
+        a = idspace_comparison(scale=tiny_scale, seed=3)
+        b = idspace_comparison(scale=tiny_scale, seed=3)
+        assert a.rows == b.rows

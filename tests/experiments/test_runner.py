@@ -1,0 +1,132 @@
+"""Tests for the shared experiment runners."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.churn.models import shrinking_trace
+from repro.core.sample_collide import SampleCollideEstimator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    aggregation_convergence,
+    aggregation_dynamic,
+    build_overlay,
+    build_scale_free_overlay,
+    dynamic_probe_series,
+    static_probe_series,
+)
+from repro.sim.rng import RngHub
+
+
+def _cfg(tiny_scale):
+    return ExperimentConfig(seed=77, scale=tiny_scale)
+
+
+class TestBuilders:
+    def test_build_overlay_size(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        g = build_overlay(cfg, 300, RngHub(1))
+        assert g.size == 300
+
+    def test_build_overlay_deterministic(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        a = build_overlay(cfg, 200, RngHub(3))
+        b = build_overlay(cfg, 200, RngHub(3))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_scale_free_overlay(self):
+        g = build_scale_free_overlay(300, RngHub(2), m=3)
+        assert g.size == 300
+
+
+class TestStaticSeries:
+    def test_counts_and_truth(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(5)
+        g = build_overlay(cfg, 400, hub)
+        series = static_probe_series(
+            lambda graph, h: SampleCollideEstimator(graph, l=20, rng=h.stream("sc")),
+            g,
+            10,
+            hub,
+        )
+        assert len(series) == 10
+        assert (series.true_sizes == 400).all()
+        assert (series.estimates > 0).all()
+
+    def test_runs_are_independent(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(6)
+        g = build_overlay(cfg, 400, hub)
+        series = static_probe_series(
+            lambda graph, h: SampleCollideEstimator(graph, l=20, rng=h.stream("sc")),
+            g,
+            8,
+            hub,
+        )
+        assert len(set(series.estimates)) > 1
+
+
+class TestDynamicSeries:
+    def test_true_size_follows_trace(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(7)
+        g = build_overlay(cfg, 400, hub)
+        trace = shrinking_trace(400, 0.5, start=1, end=10, steps=10)
+        series = dynamic_probe_series(
+            lambda graph, h: SampleCollideEstimator(graph, l=20, rng=h.stream("sc")),
+            g,
+            trace,
+            10,
+            hub,
+        )
+        assert series.true_sizes[-1] == 200
+        assert len(series) == 10
+
+    def test_estimates_track_truth_loosely(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(8)
+        g = build_overlay(cfg, 400, hub)
+        trace = shrinking_trace(400, 0.5, start=1, end=20, steps=20)
+        series = dynamic_probe_series(
+            lambda graph, h: SampleCollideEstimator(graph, l=50, rng=h.stream("sc")),
+            g,
+            trace,
+            20,
+            hub,
+        )
+        ratio = np.nanmean(series.estimates / series.true_sizes)
+        assert ratio == pytest.approx(1.0, abs=0.35)
+
+
+class TestAggregationRunners:
+    def test_convergence_curves(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(9)
+        g = build_overlay(cfg, 300, hub)
+        curves = aggregation_convergence(g, 30, hub, runs=2)
+        assert len(curves) == 2
+        for xs, qs in curves:
+            assert xs.shape == qs.shape == (30,)
+            assert qs[-1] == pytest.approx(100, abs=3)
+
+    def test_dynamic_monitor_runs(self, tiny_scale):
+        cfg = _cfg(tiny_scale)
+        hub = RngHub(10)
+        series_list, failures = aggregation_dynamic(
+            cfg,
+            300,
+            lambda n0: shrinking_trace(n0, 0.3, start=1, end=60, steps=10),
+            60,
+            hub,
+            runs=2,
+            restart_interval=15,
+        )
+        assert len(series_list) == 2
+        assert len(failures) == 2
+        for series in series_list:
+            assert len(series) == 60
+            assert series.true_sizes[-1] == pytest.approx(210, abs=2)

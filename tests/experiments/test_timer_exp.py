@@ -1,0 +1,42 @@
+"""Tests for the timer-budget ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.timer_exp import sc_timer_sweep
+
+
+class TestTimerSweep:
+    def test_structure(self, tiny_scale):
+        table = sc_timer_sweep(scale=tiny_scale, timers=(1.0, 10.0), repetitions=4)
+        assert len(table.rows) == 4  # 2 topologies x 2 timers
+        topologies = set(table.column("topology"))
+        assert len(topologies) == 2
+
+    def test_cost_grows_with_timer(self, tiny_scale):
+        table = sc_timer_sweep(scale=tiny_scale, timers=(1.0, 10.0), repetitions=4)
+        for topo in set(table.column("topology")):
+            rows = {r["timer"]: r for r in table.rows if r["topology"] == topo}
+            assert rows[10.0]["mean_messages"] > rows[1.0]["mean_messages"]
+
+    def test_expander_debiased_at_t10(self, tiny_scale):
+        table = sc_timer_sweep(scale=tiny_scale, timers=(1.0, 10.0), repetitions=6)
+        rows = {
+            (r["topology"].split(" ")[0], r["timer"]): r["mean_quality_pct"]
+            for r in table.rows
+        }
+        assert rows[("heterogeneous", 1.0)] < rows[("heterogeneous", 10.0)]
+        assert rows[("heterogeneous", 10.0)] == pytest.approx(100, abs=30)
+
+    def test_ring_stays_biased(self, tiny_scale):
+        table = sc_timer_sweep(scale=tiny_scale, timers=(10.0,), repetitions=4)
+        ring = next(
+            r for r in table.rows if r["topology"].startswith("ring")
+        )
+        assert ring["mean_quality_pct"] < 60
+
+    def test_deterministic(self, tiny_scale):
+        a = sc_timer_sweep(scale=tiny_scale, seed=5, timers=(2.0,), repetitions=3)
+        b = sc_timer_sweep(scale=tiny_scale, seed=5, timers=(2.0,), repetitions=3)
+        assert a.rows == b.rows

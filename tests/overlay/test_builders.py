@@ -1,0 +1,202 @@
+"""Tests for the overlay constructors (paper §IV-A topologies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.builders import (
+    erdos_renyi,
+    heterogeneous_random,
+    homogeneous_random,
+    ring_lattice,
+    scale_free,
+)
+from repro.overlay.graph import GraphError
+from repro.overlay.views import (
+    connectivity_margin,
+    degree_stats,
+    is_connected,
+    largest_component_fraction,
+    powerlaw_exponent,
+)
+
+
+class TestHeterogeneousRandom:
+    def test_size(self):
+        assert heterogeneous_random(300, rng=1).size == 300
+
+    def test_degree_cap_respected(self):
+        g = heterogeneous_random(1_000, max_degree=10, rng=2)
+        assert degree_stats(g).max_degree <= 10
+
+    def test_paper_average_degree(self):
+        # Paper: max 10 neighbours leads to an average of ≈7.2.
+        g = heterogeneous_random(5_000, max_degree=10, rng=3)
+        assert 6.5 <= degree_stats(g).mean_degree <= 7.9
+
+    def test_degrees_heterogeneous(self):
+        g = heterogeneous_random(2_000, max_degree=10, rng=4)
+        stats = degree_stats(g)
+        assert stats.min_degree < stats.max_degree  # genuinely mixed
+
+    def test_mostly_connected(self):
+        g = heterogeneous_random(2_000, max_degree=10, rng=5)
+        assert largest_component_fraction(g) > 0.99
+
+    def test_connectivity_margin_above_one(self):
+        # §IV-A: average degree over log10(N) ensures connectivity.
+        g = heterogeneous_random(2_000, max_degree=10, rng=6)
+        assert connectivity_margin(g) > 1.0
+
+    def test_deterministic_given_seed(self):
+        a = heterogeneous_random(200, rng=9)
+        b = heterogeneous_random(200, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = heterogeneous_random(200, rng=9)
+        b = heterogeneous_random(200, rng=10)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_single_node(self):
+        g = heterogeneous_random(1, rng=0)
+        assert g.size == 1 and g.num_edges == 0
+
+    def test_max_degree_clamped_for_tiny_graphs(self):
+        g = heterogeneous_random(3, max_degree=10, rng=0)
+        assert degree_stats(g).max_degree <= 2
+
+    def test_invalid_n(self):
+        with pytest.raises(GraphError):
+            heterogeneous_random(0)
+
+    def test_invalid_degree_bounds(self):
+        with pytest.raises(GraphError):
+            heterogeneous_random(10, max_degree=2, min_degree=5)
+        with pytest.raises(GraphError):
+            heterogeneous_random(10, max_degree=2, min_degree=0)
+
+    def test_invariants(self):
+        heterogeneous_random(500, rng=1).check_invariants()
+
+
+class TestHomogeneousRandom:
+    def test_degrees_near_k(self):
+        g = homogeneous_random(1_000, k=8, rng=1)
+        stats = degree_stats(g)
+        assert stats.max_degree <= 8
+        degs = np.diff(g.csr().indptr)
+        assert (degs == 8).mean() > 0.95  # near-regular
+
+    def test_connected(self):
+        g = homogeneous_random(1_000, k=8, rng=2)
+        assert largest_component_fraction(g) > 0.99
+
+    def test_k_clamped(self):
+        g = homogeneous_random(4, k=100, rng=0)
+        assert degree_stats(g).max_degree <= 3
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            homogeneous_random(10, k=0)
+
+    def test_deterministic(self):
+        a = homogeneous_random(100, k=4, rng=5)
+        b = homogeneous_random(100, k=4, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invariants(self):
+        homogeneous_random(300, k=6, rng=1).check_invariants()
+
+
+class TestScaleFree:
+    def test_size_and_min_degree(self):
+        g = scale_free(2_000, m=3, rng=1)
+        assert g.size == 2_000
+        assert degree_stats(g).min_degree >= 3  # every arrival brings m links
+
+    def test_hub_emergence(self):
+        # Paper Fig 7 at 100k: max degree ~1177 ≈ 1.2% of n; hubs must be
+        # orders of magnitude above the mean.
+        g = scale_free(3_000, m=3, rng=2)
+        stats = degree_stats(g)
+        assert stats.max_degree > 10 * stats.mean_degree
+
+    def test_average_degree_about_2m(self):
+        g = scale_free(3_000, m=3, rng=3)
+        assert 5.0 <= degree_stats(g).mean_degree <= 7.0
+
+    def test_powerlaw_exponent_near_3(self):
+        g = scale_free(5_000, m=3, rng=4)
+        gamma = powerlaw_exponent(g, d_min=3)
+        assert 2.0 < gamma < 4.0  # BA theory: gamma -> 3
+
+    def test_connected(self):
+        # growth + attachment yields a single component by construction
+        assert is_connected(scale_free(1_000, m=3, rng=5))
+
+    def test_deterministic(self):
+        a = scale_free(300, m=2, rng=6)
+        b = scale_free(300, m=2, rng=6)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_tiny_graph(self):
+        g = scale_free(2, m=3, rng=0)
+        assert g.size == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            scale_free(0)
+        with pytest.raises(GraphError):
+            scale_free(10, m=0)
+
+    def test_invariants(self):
+        scale_free(500, m=3, rng=1).check_invariants()
+
+
+class TestErdosRenyi:
+    def test_edge_count_matches_target(self):
+        g = erdos_renyi(1_000, avg_degree=8.0, rng=1)
+        assert g.num_edges == pytest.approx(4_000, rel=0.01)
+
+    def test_zero_degree(self):
+        g = erdos_renyi(100, avg_degree=0.0, rng=1)
+        assert g.num_edges == 0
+
+    def test_dense_request_clamped(self):
+        g = erdos_renyi(10, avg_degree=100.0, rng=1)
+        assert g.num_edges <= 45  # complete graph bound
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(0)
+        with pytest.raises(GraphError):
+            erdos_renyi(10, avg_degree=-1)
+
+    def test_invariants(self):
+        erdos_renyi(300, avg_degree=6, rng=2).check_invariants()
+
+
+class TestRingLattice:
+    def test_exact_degrees(self):
+        g = ring_lattice(20, k=2)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_connected(self):
+        assert is_connected(ring_lattice(50, k=1))
+
+    def test_deterministic_structure(self):
+        g = ring_lattice(6, k=1)
+        assert sorted(g.edges()) == [(0, 1), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_small_ring_no_duplicate_edges(self):
+        g = ring_lattice(3, k=2)  # k wraps all the way round
+        g.check_invariants()
+        assert g.num_edges == 3
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            ring_lattice(0)
+        with pytest.raises(GraphError):
+            ring_lattice(5, k=0)

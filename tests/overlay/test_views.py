@@ -1,0 +1,102 @@
+"""Tests for graph analyses (degree stats, connectivity, power-law fit)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.builders import ring_lattice, scale_free
+from repro.overlay.graph import OverlayGraph
+from repro.overlay.views import (
+    connectivity_margin,
+    degree_histogram,
+    degree_stats,
+    is_connected,
+    largest_component_fraction,
+    powerlaw_exponent,
+)
+
+
+class TestDegreeStats:
+    def test_empty(self):
+        s = degree_stats(OverlayGraph())
+        assert s.n == 0 and s.m == 0 and s.mean_degree == 0.0
+
+    def test_tiny_graph(self, tiny_graph):
+        s = degree_stats(tiny_graph)
+        assert s.n == 5
+        assert s.m == 4
+        assert s.min_degree == 1
+        assert s.max_degree == 3
+        assert s.mean_degree == pytest.approx(1.6)
+        assert s.isolated == 0
+
+    def test_isolated_counted(self):
+        g = OverlayGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert degree_stats(g).isolated == 1
+
+    def test_as_dict_keys(self, tiny_graph):
+        d = degree_stats(tiny_graph).as_dict()
+        assert set(d) == {
+            "n", "m", "min_degree", "max_degree",
+            "mean_degree", "median_degree", "isolated",
+        }
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_n(self, het_graph):
+        hist = degree_histogram(het_graph)
+        assert sum(c for _, c in hist) == het_graph.size
+
+    def test_sorted_ascending(self, het_graph):
+        degs = [d for d, _ in degree_histogram(het_graph)]
+        assert degs == sorted(degs)
+
+    def test_empty(self):
+        assert degree_histogram(OverlayGraph()) == []
+
+    def test_regular_graph_single_bin(self):
+        hist = degree_histogram(ring_lattice(10, k=2))
+        assert hist == [(4, 10)]
+
+
+class TestConnectivity:
+    def test_connected_graph(self, het_graph):
+        assert largest_component_fraction(het_graph) > 0.99
+
+    def test_disconnected(self):
+        g = OverlayGraph(nodes=range(4), edges=[(0, 1)])
+        assert not is_connected(g)
+        assert largest_component_fraction(g) == pytest.approx(0.5)
+
+    def test_empty_and_singleton(self):
+        assert is_connected(OverlayGraph())
+        assert largest_component_fraction(OverlayGraph()) == 0.0
+        assert is_connected(OverlayGraph(nodes=[0]))
+
+    def test_margin_small_graphs(self):
+        assert connectivity_margin(OverlayGraph()) == float("inf")
+        assert connectivity_margin(OverlayGraph(nodes=[0])) == float("inf")
+
+    def test_margin_value(self):
+        g = ring_lattice(100, k=2)  # degree 4, log10(100)=2
+        assert connectivity_margin(g) == pytest.approx(2.0)
+
+
+class TestPowerlaw:
+    def test_exponent_on_scale_free(self, sf_graph):
+        gamma = powerlaw_exponent(sf_graph, d_min=3)
+        assert 2.0 < gamma < 4.5
+
+    def test_requires_enough_nodes(self):
+        g = OverlayGraph(nodes=[0, 1], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            powerlaw_exponent(g, d_min=3)
+
+    def test_exponent_increases_for_tighter_distribution(self):
+        # A regular graph has no tail above its own degree: fitting at
+        # d_min = degree yields a far larger exponent than a genuinely
+        # heavy-tailed graph fit at its minimum degree.
+        regular = ring_lattice(2_000, k=3)  # all degree 6
+        heavy = scale_free(2_000, m=3, rng=8)
+        assert powerlaw_exponent(regular, d_min=6) > 2 * powerlaw_exponent(heavy, d_min=3)

@@ -1,0 +1,66 @@
+"""Cross-validation: closed-form delay models vs message-level simulation.
+
+The delay ablation prices algorithms with the lock-step closed forms in
+:mod:`repro.sim.latency`; the message-level :mod:`repro.sim.network` mode
+measures completion times from actual per-message event orderings.  These
+tests pin the two against each other so the ablation's numbers are backed
+by simulation, not just algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.builders import heterogeneous_random
+from repro.sim.latency import LatencyModel
+from repro.sim.network import MessageLevelSpread, Network
+
+
+class TestSpreadDelayModel:
+    def _measure(self, n: int, sigma: float, seed: int):
+        g = heterogeneous_random(n, rng=seed)
+        net = Network(g, latency=LatencyModel(median_ms=50, sigma=sigma, rng=seed + 1))
+        spread = MessageLevelSpread(net, gossip_to=2, rng=seed + 2)
+        spread.run(g.random_node(seed + 3))
+        return spread, net
+
+    def test_constant_latency_matches_generation_count(self):
+        """With zero jitter, completion time = (#epidemic generations) x
+        latency exactly — the lock-step abstraction is exact."""
+        spread, net = self._measure(800, sigma=0.0, seed=30)
+        generations = spread.finished_at / 0.050
+        assert generations == pytest.approx(round(generations), abs=1e-6)
+        # generations in the band the lock-step model assumes: log2-ish
+        assert 5 <= generations <= 60
+
+    def test_jitter_slows_completion(self):
+        """Lock-step rounds are bounded by the slowest message, so latency
+        jitter strictly increases completion time at equal median."""
+        const, _ = self._measure(800, sigma=0.0, seed=31)
+        jitter, _ = self._measure(800, sigma=0.8, seed=31)
+        assert jitter.finished_at > const.finished_at * 0.9
+        # reach is unaffected by delays (same protocol, different clock)
+        assert abs(jitter.coverage() - const.coverage()) < 0.1
+
+    def test_model_is_a_conservative_bracket(self):
+        """The closed-form hops_sampling_delay upper-bounds the
+        message-level measurement under the same latency law (lock-step
+        barriers wait for the slowest message; a real epidemic lets fast
+        paths race ahead, so generations overlap), while staying within a
+        single-digit factor."""
+        spread, net = self._measure(1_200, sigma=0.5, seed=32)
+        measured = spread.finished_at
+        # price the same number of generations through the lock-step model
+        generations = max(int(round(measured / 0.050)), 1) if measured else 1
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=33)
+        predicted = model.hops_sampling_delay(spread_rounds=generations).total
+        assert measured <= predicted * 1.1  # conservative...
+        assert measured > predicted / 8  # ...but not absurdly so
+
+    def test_completion_grows_logarithmically_with_n(self):
+        small, _ = self._measure(200, sigma=0.0, seed=34)
+        large, _ = self._measure(3_200, sigma=0.0, seed=34)
+        # 16x the nodes => ~log2(16)=4 extra generations, NOT 16x the time
+        assert large.finished_at < 3 * small.finished_at
+        assert large.finished_at > small.finished_at * 0.8

@@ -1,0 +1,192 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(5.0, lambda e: log.append("late"))
+        eng.schedule(1.0, lambda e: log.append("early"))
+        eng.run()
+        assert log == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(1.0, lambda e: log.append("b"), priority=1)
+        eng.schedule(1.0, lambda e: log.append("a"), priority=0)
+        eng.run()
+        assert log == ["a", "b"]
+
+    def test_fifo_within_priority(self):
+        eng = SimulationEngine()
+        log = []
+        for i in range(5):
+            eng.schedule(1.0, lambda e, i=i: log.append(i))
+        eng.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        eng = SimulationEngine()
+        times = []
+        eng.schedule(2.5, lambda e: times.append(e.now))
+        eng.schedule(7.0, lambda e: times.append(e.now))
+        eng.run()
+        assert times == [2.5, 7.0]
+        assert eng.now == 7.0
+
+    def test_schedule_in_past_rejected(self):
+        eng = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.schedule(9.0, lambda e: None)
+
+    def test_schedule_at_now_allowed(self):
+        eng = SimulationEngine(start_time=10.0)
+        hit = []
+        eng.schedule(10.0, lambda e: hit.append(1))
+        eng.run()
+        assert hit == [1]
+
+    def test_schedule_in_relative(self):
+        eng = SimulationEngine(start_time=3.0)
+        times = []
+        eng.schedule_in(2.0, lambda e: times.append(e.now))
+        eng.run()
+        assert times == [5.0]
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(-1.0, lambda e: None)
+
+    def test_events_can_schedule_events(self):
+        eng = SimulationEngine()
+        log = []
+
+        def first(e):
+            log.append("first")
+            e.schedule_in(1.0, lambda e2: log.append("second"))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert log == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = SimulationEngine()
+        log = []
+        ev = eng.schedule(1.0, lambda e: log.append("no"))
+        eng.schedule(2.0, lambda e: log.append("yes"))
+        ev.cancel()
+        eng.run()
+        assert log == ["yes"]
+
+    def test_pending_excludes_cancelled(self):
+        eng = SimulationEngine()
+        ev = eng.schedule(1.0, lambda e: None)
+        eng.schedule(2.0, lambda e: None)
+        assert eng.pending == 2
+        ev.cancel()
+        assert eng.pending == 1
+
+    def test_stop_cancels_everything(self):
+        eng = SimulationEngine()
+        log = []
+
+        def stopper(e):
+            log.append("ran")
+            e.stop()
+
+        eng.schedule(1.0, stopper)
+        eng.schedule(2.0, lambda e: log.append("never"))
+        eng.run()
+        assert log == ["ran"]
+
+
+class TestRunControl:
+    def test_run_until_horizon(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(1.0, lambda e: log.append(1))
+        eng.schedule(5.0, lambda e: log.append(5))
+        executed = eng.run(until=3.0)
+        assert executed == 1
+        assert log == [1]
+        assert eng.now == 3.0  # clock advanced to horizon
+        assert eng.pending == 1  # late event still queued
+
+    def test_run_resumes_after_horizon(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(5.0, lambda e: log.append(5))
+        eng.run(until=3.0)
+        eng.run()
+        assert log == [5]
+
+    def test_max_events(self):
+        eng = SimulationEngine()
+        log = []
+        for i in range(10):
+            eng.schedule(float(i + 1), lambda e, i=i: log.append(i))
+        eng.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_executed_counter(self):
+        eng = SimulationEngine()
+        for i in range(4):
+            eng.schedule(float(i + 1), lambda e: None)
+        eng.run()
+        assert eng.executed == 4
+
+    def test_reentrant_run_rejected(self):
+        eng = SimulationEngine()
+
+        def recurse(e):
+            with pytest.raises(SimulationError):
+                e.run()
+
+        eng.schedule(1.0, recurse)
+        eng.run()
+
+
+class TestRecurring:
+    def test_fixed_count(self):
+        eng = SimulationEngine()
+        hits = []
+        eng.schedule_every(1.0, lambda e: hits.append(e.now), count=4)
+        eng.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_explicit_start(self):
+        eng = SimulationEngine()
+        hits = []
+        eng.schedule_every(2.0, lambda e: hits.append(e.now), start=5.0, count=2)
+        eng.run()
+        assert hits == [5.0, 7.0]
+
+    def test_unbounded_with_horizon(self):
+        eng = SimulationEngine()
+        hits = []
+        eng.schedule_every(1.0, lambda e: hits.append(e.now))
+        eng.run(until=3.5)
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_zero_count_never_fires(self):
+        eng = SimulationEngine()
+        hits = []
+        eng.schedule_every(1.0, lambda e: hits.append(1), count=0)
+        eng.run(until=10)
+        assert hits == []
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_every(0.0, lambda e: None)

@@ -1,0 +1,121 @@
+"""Tests for the message-delay model (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import (
+    DelayBreakdown,
+    LatencyModel,
+    completion_time_lockstep,
+)
+
+
+class TestLatencyModel:
+    def test_draw_shapes_and_positivity(self):
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=1)
+        lat = model.draw(1_000)
+        assert lat.shape == (1_000,)
+        assert (lat > 0).all()
+
+    def test_zero_draws(self):
+        assert LatencyModel(rng=1).draw(0).shape == (0,)
+
+    def test_negative_draws_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(rng=1).draw(-1)
+
+    def test_median_honoured(self):
+        model = LatencyModel(median_ms=80, sigma=0.5, rng=2)
+        lat = model.draw(20_000)
+        assert np.median(lat) == pytest.approx(0.080, rel=0.05)
+
+    def test_constant_mode(self):
+        model = LatencyModel(median_ms=10, sigma=0.0, rng=3)
+        lat = model.draw(100)
+        assert (lat == 0.010).all()
+        assert model.mean() == pytest.approx(0.010)
+
+    def test_mean_formula(self):
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=4)
+        analytic = 0.050 * math.exp(0.5**2 / 2)
+        assert model.mean() == pytest.approx(analytic)
+        assert model.draw(50_000).mean() == pytest.approx(analytic, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(median_ms=0)
+        with pytest.raises(ValueError):
+            LatencyModel(sigma=-0.1)
+
+
+class TestLockstep:
+    def test_zero_rounds(self):
+        assert completion_time_lockstep(LatencyModel(rng=1), 0, 8) == 0.0
+
+    def test_grows_linearly_in_rounds(self):
+        model = LatencyModel(median_ms=50, sigma=0.0, rng=1)
+        t10 = completion_time_lockstep(model, 10, 8)
+        t20 = completion_time_lockstep(model, 20, 8)
+        assert t20 == pytest.approx(2 * t10)
+
+    def test_max_exceeds_mean_under_jitter(self):
+        jitter = LatencyModel(median_ms=50, sigma=0.8, rng=2)
+        const = LatencyModel(median_ms=50, sigma=0.0, rng=2)
+        assert completion_time_lockstep(jitter, 50, 64) > completion_time_lockstep(
+            const, 50, 64
+        )
+
+
+class TestAlgorithmDelays:
+    def test_sample_collide_sequential_vs_parallel(self):
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=5)
+        seq = model.sample_collide_delay(500, 70, parallel_walks=False)
+        par = LatencyModel(median_ms=50, sigma=0.5, rng=5).sample_collide_delay(
+            500, 70, parallel_walks=True
+        )
+        assert par.total < seq.total / 10  # parallelism wins massively
+
+    def test_hops_delay_breakdown(self):
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=6)
+        d = model.hops_sampling_delay(spread_rounds=12)
+        assert isinstance(d, DelayBreakdown)
+        assert d.total == pytest.approx(d.phases["spread"] + d.phases["reply"])
+
+    def test_aggregation_delay_uses_round_trips(self):
+        model = LatencyModel(median_ms=50, sigma=0.0, rng=7)
+        d = model.aggregation_delay(rounds=50)
+        assert d.total == pytest.approx(2 * 50 * 0.050)
+
+    def test_paper_conjecture_hops_fastest(self):
+        # §V: the gossip spread + ACK beats 50 aggregation round trips and
+        # the sequential wait for the walk samples.
+        model = LatencyModel(median_ms=50, sigma=0.5, rng=8)
+        hops = model.hops_sampling_delay(spread_rounds=15).total
+        agg = model.aggregation_delay(rounds=50).total
+        sc = model.sample_collide_delay(2_000, 70, parallel_walks=False).total
+        assert hops < agg < sc
+
+    def test_validation(self):
+        model = LatencyModel(rng=9)
+        with pytest.raises(ValueError):
+            model.sample_collide_delay(-1, 10)
+        with pytest.raises(ValueError):
+            model.hops_sampling_delay(-1)
+        with pytest.raises(ValueError):
+            model.aggregation_delay(-1)
+
+
+class TestDelayExperiment:
+    def test_delay_table(self, tiny_scale):
+        from repro.experiments.delay import delay_comparison
+
+        table = delay_comparison(scale=tiny_scale)
+        assert len(table.rows) == 4
+        by = {r["algorithm"]: r["completion_seconds"] for r in table.rows}
+        # the paper's conjecture holds in the model
+        assert by["HopsSampling"] < by["Aggregation"]
+        assert by["Aggregation"] < by["Sample&Collide (sequential walks)"]

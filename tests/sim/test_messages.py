@@ -1,0 +1,82 @@
+"""Tests for message accounting (the paper's overhead metric)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import MessageKind, MessageMeter, MeterSnapshot
+
+
+class TestMeter:
+    def test_starts_empty(self):
+        meter = MessageMeter()
+        assert meter.total == 0
+        assert meter.count(MessageKind.SPREAD) == 0
+
+    def test_add_accumulates(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.WALK, 10)
+        meter.add(MessageKind.WALK, 5)
+        meter.add(MessageKind.REPLY)
+        assert meter.count(MessageKind.WALK) == 15
+        assert meter.count(MessageKind.REPLY) == 1
+        assert meter.total == 16
+
+    def test_add_zero_is_noop(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.SPREAD, 0)
+        assert meter.total == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MessageMeter().add(MessageKind.SPREAD, -1)
+
+    def test_reset(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.EXCHANGE, 100)
+        meter.reset()
+        assert meter.total == 0
+
+    def test_items(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.SPREAD, 2)
+        meter.add(MessageKind.REPLY, 3)
+        assert dict(meter.items()) == {"spread": 2, "reply": 3}
+
+    def test_all_kinds_distinct(self):
+        meter = MessageMeter()
+        for kind in MessageKind:
+            meter.add(kind, 1)
+        assert meter.total == len(MessageKind)
+        for kind in MessageKind:
+            assert meter.count(kind) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.WALK, 5)
+        snap = meter.snapshot()
+        meter.add(MessageKind.WALK, 5)
+        assert snap.of(MessageKind.WALK) == 5
+        assert meter.count(MessageKind.WALK) == 10
+
+    def test_total(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.WALK, 3)
+        meter.add(MessageKind.REPLY, 4)
+        assert meter.snapshot().total == 7
+
+    def test_subtraction_gives_delta(self):
+        meter = MessageMeter()
+        meter.add(MessageKind.SPREAD, 10)
+        before = meter.snapshot()
+        meter.add(MessageKind.SPREAD, 7)
+        meter.add(MessageKind.REPLY, 2)
+        delta = meter.snapshot() - before
+        assert delta.of(MessageKind.SPREAD) == 7
+        assert delta.of(MessageKind.REPLY) == 2
+        assert delta.total == 9
+
+    def test_missing_kind_is_zero(self):
+        assert MeterSnapshot({}).of(MessageKind.CONTROL) == 0

@@ -1,0 +1,145 @@
+"""Tests for accuracy metrics (quality %, last10runs, estimate series)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    EstimateSeries,
+    RollingAverage,
+    error_percent,
+    quality_percent,
+)
+
+
+class TestQuality:
+    def test_exact_is_100(self):
+        assert quality_percent(500, 500) == 100.0
+
+    def test_over_under(self):
+        assert quality_percent(150, 100) == 150.0
+        assert quality_percent(50, 100) == 50.0
+
+    def test_error_absolute(self):
+        assert error_percent(120, 100) == pytest.approx(20.0)
+        assert error_percent(80, 100) == pytest.approx(20.0)
+
+    def test_nonpositive_true_size_rejected(self):
+        with pytest.raises(ValueError):
+            quality_percent(10, 0)
+        with pytest.raises(ValueError):
+            error_percent(10, -5)
+
+
+class TestRollingAverage:
+    def test_window_semantics(self):
+        r = RollingAverage(3)
+        assert r.push(1.0) == 1.0
+        assert r.push(2.0) == 1.5
+        assert r.push(3.0) == 2.0
+        assert r.push(4.0) == 3.0  # the 1.0 fell out
+
+    def test_count(self):
+        r = RollingAverage(5)
+        for i in range(3):
+            r.push(float(i))
+        assert r.count == 3
+
+    def test_reset(self):
+        r = RollingAverage(3)
+        r.push(5.0)
+        r.reset()
+        assert r.count == 0
+        assert math.isnan(r.mean)
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(RollingAverage(3).mean)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RollingAverage(0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+           st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_windowed_mean(self, values, window):
+        r = RollingAverage(window)
+        for i, v in enumerate(values):
+            got = r.push(v)
+            expect = sum(values[max(0, i - window + 1) : i + 1]) / min(i + 1, window)
+            assert got == pytest.approx(expect, rel=1e-9, abs=1e-9)
+
+
+class TestEstimateSeries:
+    def _make(self):
+        s = EstimateSeries("t")
+        for i, (est, true) in enumerate([(90, 100), (110, 100), (100, 100), (130, 100)], 1):
+            s.append(i, est, true)
+        return s
+
+    def test_lengths_and_arrays(self):
+        s = self._make()
+        assert len(s) == 4
+        assert list(s.x) == [1, 2, 3, 4]
+        assert list(s.estimates) == [90, 110, 100, 130]
+
+    def test_qualities(self):
+        s = self._make()
+        assert list(s.qualities()) == [90.0, 110.0, 100.0, 130.0]
+
+    def test_errors(self):
+        s = self._make()
+        assert list(s.errors()) == [10.0, 10.0, 0.0, 30.0]
+
+    def test_rolling_qualities(self):
+        s = self._make()
+        rolled = s.rolling_qualities(window=2)
+        assert rolled[0] == 90.0
+        assert rolled[1] == pytest.approx(100.0)
+        assert rolled[3] == pytest.approx(115.0)
+
+    def test_rolling_uses_current_true_size(self):
+        s = EstimateSeries()
+        s.append(1, 100, 100)
+        s.append(2, 100, 200)  # network doubled but estimates lag
+        rolled = s.rolling_qualities(window=2)
+        assert rolled[1] == pytest.approx(50.0)
+
+    def test_summary_stats(self):
+        s = self._make()
+        summ = s.summary()
+        assert summ.count == 4
+        assert summ.mean_quality == pytest.approx(107.5)
+        assert summ.worst_error == 30.0
+        assert summ.bias == pytest.approx(7.5)
+        assert summ.within_10pct == pytest.approx(0.75)
+        assert summ.within_20pct == pytest.approx(0.75)
+
+    def test_summary_skip(self):
+        s = self._make()
+        summ = s.summary(skip=3)
+        assert summ.count == 1
+        assert summ.mean_quality == 130.0
+
+    def test_summary_skip_too_much(self):
+        with pytest.raises(ValueError):
+            self._make().summary(skip=4)
+
+    def test_append_bad_true_size(self):
+        with pytest.raises(ValueError):
+            EstimateSeries().append(1, 10, 0)
+
+    def test_rows_roundtrip(self):
+        s = self._make()
+        rows = list(s.rows())
+        assert rows[0] == (1.0, 90.0, 100.0)
+        assert len(rows) == 4
+
+    def test_as_dict_summary(self):
+        d = self._make().summary().as_dict()
+        assert "rmse_quality" in d and "bias" in d

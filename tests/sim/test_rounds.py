@@ -1,0 +1,100 @@
+"""Tests for the synchronous round driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rounds import (
+    PRIORITY_CHURN,
+    PRIORITY_OBSERVER,
+    PRIORITY_PROTOCOL,
+    RoundDriver,
+)
+
+
+class TestBasicRounds:
+    def test_runs_requested_rounds(self):
+        driver = RoundDriver()
+        seen = []
+        driver.subscribe(seen.append)
+        assert driver.run(5) == 5
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_round_numbers_continue_across_runs(self):
+        driver = RoundDriver()
+        seen = []
+        driver.subscribe(seen.append)
+        driver.run(2)
+        driver.run(3)
+        assert seen == [1, 2, 3, 4, 5]
+        assert driver.current_round == 5
+
+    def test_clock_equals_round_number(self):
+        driver = RoundDriver()
+        times = []
+        driver.subscribe(lambda rnd: times.append(driver.engine.now))
+        driver.run(3)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_zero_rounds(self):
+        assert RoundDriver().run(0) == 0
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            RoundDriver().run(-1)
+
+
+class TestHooks:
+    def test_priority_order(self):
+        driver = RoundDriver()
+        order = []
+        driver.subscribe(lambda r: order.append("obs"), priority=PRIORITY_OBSERVER)
+        driver.subscribe(lambda r: order.append("proto"), priority=PRIORITY_PROTOCOL)
+        driver.subscribe(lambda r: order.append("churn"), priority=PRIORITY_CHURN)
+        driver.run(1)
+        assert order == ["churn", "proto", "obs"]
+
+    def test_equal_priority_keeps_subscription_order(self):
+        driver = RoundDriver()
+        order = []
+        driver.subscribe(lambda r: order.append("a"))
+        driver.subscribe(lambda r: order.append("b"))
+        driver.run(1)
+        assert order == ["a", "b"]
+
+    def test_unsubscribe(self):
+        driver = RoundDriver()
+        hits = []
+        hook = driver.subscribe(hits.append)
+        driver.run(1)
+        driver.unsubscribe(hook)
+        driver.run(1)
+        assert hits == [1]
+
+    def test_unsubscribe_twice_is_noop(self):
+        driver = RoundDriver()
+        hook = driver.subscribe(lambda r: None)
+        driver.unsubscribe(hook)
+        driver.unsubscribe(hook)  # must not raise
+
+    def test_stop_from_hook(self):
+        driver = RoundDriver()
+        seen = []
+
+        def hook(rnd):
+            seen.append(rnd)
+            if rnd == 3:
+                driver.stop()
+
+        driver.subscribe(hook)
+        executed = driver.run(10)
+        assert executed == 3
+        assert seen == [1, 2, 3]
+
+    def test_multiple_hooks_all_called_each_round(self):
+        driver = RoundDriver()
+        a, b = [], []
+        driver.subscribe(a.append)
+        driver.subscribe(b.append)
+        driver.run(4)
+        assert a == b == [1, 2, 3, 4]

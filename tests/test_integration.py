@@ -1,0 +1,185 @@
+"""Cross-module integration tests: the paper's headline claims, end to end.
+
+These run the real pipeline (build overlay → churn → estimate → account
+messages) at reduced scale and assert the *relationships* the paper
+reports, rather than any single number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregationProtocol,
+    ChurnScheduler,
+    HopsSamplingEstimator,
+    MessageMeter,
+    RandomTourEstimator,
+    SampleCollideEstimator,
+    heterogeneous_random,
+    scale_free,
+    shrinking_trace,
+)
+from repro.core.aggregation import AggregationMonitor
+from repro.overlay.views import largest_component_fraction
+from repro.sim.rounds import RoundDriver
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return heterogeneous_random(3_000, rng=101)
+
+
+class TestHeadToHeadAccuracy:
+    """§IV-C orderings on a single shared overlay."""
+
+    def test_accuracy_ordering(self, overlay):
+        n = overlay.size
+        agg_err = abs(
+            AggregationProtocol(overlay, rng=1).estimate(rounds=40).value - n
+        ) / n
+        sc_vals = [
+            SampleCollideEstimator(overlay, l=200, rng=s).estimate().value
+            for s in range(10)
+        ]
+        sc_err = abs(np.mean(sc_vals) - n) / n
+        hops_vals = [
+            HopsSamplingEstimator(overlay, rng=s).estimate().value for s in range(10)
+        ]
+        hops_err = abs(np.mean(hops_vals) - n) / n
+        # Aggregation (exact) < S&C last10 (few %) < Hops last10 (biased).
+        assert agg_err < 0.01
+        assert agg_err < sc_err < hops_err
+
+    def test_hops_biased_sc_not(self, overlay):
+        n = overlay.size
+        sc_q = [
+            SampleCollideEstimator(overlay, l=100, rng=s).estimate().quality(n)
+            for s in range(15)
+        ]
+        hops_q = [
+            HopsSamplingEstimator(overlay, rng=s).estimate().quality(n)
+            for s in range(15)
+        ]
+        assert abs(np.mean(sc_q) - 100) < 8
+        assert np.mean(hops_q) < 95  # systematic under-estimate
+
+
+class TestOverheadOrdering:
+    """Table I's per-estimation cost ordering on one overlay."""
+
+    def test_full_ordering(self, overlay):
+        sc_one = SampleCollideEstimator(overlay, l=200, rng=3).estimate().messages
+        hops_one = HopsSamplingEstimator(overlay, rng=3).estimate().messages
+        agg = AggregationProtocol(overlay, rng=3).estimate(rounds=50).messages
+        # last10runs = 10x one-shot costs
+        sc_ten, hops_ten = 10 * sc_one, 10 * hops_one
+        assert hops_ten < agg  # Hops last10 cheaper than Aggregation
+        assert sc_one < sc_ten
+        assert agg == 2 * 50 * overlay.size  # exact formula
+
+    def test_aggregation_least_flexible(self, overlay):
+        # S&C can trade accuracy for cost via l; Aggregation's cost is fixed
+        # by N and rounds regardless of any parameter.
+        cheap = SampleCollideEstimator(overlay, l=10, rng=4).estimate().messages
+        precise = SampleCollideEstimator(overlay, l=200, rng=4).estimate().messages
+        assert cheap < precise / 2.5
+
+
+class TestScaleFreeRobustness:
+    """§IV-C-g: degree heterogeneity must not bias S&C or Aggregation."""
+
+    def test_sc_unbiased_on_scale_free(self):
+        g = scale_free(2_000, m=3, rng=55)
+        vals = [
+            SampleCollideEstimator(g, l=100, rng=s).estimate().value
+            for s in range(15)
+        ]
+        assert np.mean(vals) == pytest.approx(g.size, rel=0.08)
+
+    def test_agg_exact_on_scale_free(self):
+        g = scale_free(2_000, m=3, rng=56)
+        est = AggregationProtocol(g, rng=57).estimate(rounds=45)
+        assert est.value == pytest.approx(g.size, rel=0.02)
+
+    def test_hops_bias_amplified_on_scale_free(self):
+        g_rand = heterogeneous_random(2_000, rng=58)
+        g_sf = scale_free(2_000, m=3, rng=59)
+        q_rand = np.mean(
+            [HopsSamplingEstimator(g_rand, rng=s).estimate().quality(g_rand.size)
+             for s in range(12)]
+        )
+        q_sf = np.mean(
+            [HopsSamplingEstimator(g_sf, rng=s).estimate().quality(g_sf.size)
+             for s in range(12)]
+        )
+        assert q_sf < q_rand  # the paper's amplified under-estimation
+
+
+class TestDynamicTracking:
+    """§IV-D: probes track a shrinking overlay; aggregation needs restarts."""
+
+    def test_sc_tracks_shrinkage(self):
+        g = heterogeneous_random(2_000, rng=60)
+        trace = shrinking_trace(2_000, 0.5, start=1, end=30, steps=30)
+        sched = ChurnScheduler(g, trace, rng=61)
+        errs = []
+        for i in range(1, 31):
+            sched.advance_to(i)
+            est = SampleCollideEstimator(g, l=100, rng=100 + i).estimate()
+            errs.append(abs(est.value - g.size) / g.size)
+        assert np.mean(errs) < 0.15
+        assert g.size == 1_000
+
+    def test_aggregation_monitor_with_restarts_tracks_shrinkage(self):
+        # §IV-D's remedy for shrinkage: periodic restarts, with epochs long
+        # enough for the epidemic to converge on the *degraded* overlay
+        # (40% unrepaired removals roughly halve the mean degree, slowing
+        # convergence — hence 45 rounds here, not the static-optimum ~25).
+        g = heterogeneous_random(1_500, rng=62)
+        trace = shrinking_trace(1_500, 0.4, start=1, end=150, steps=15)
+        driver = RoundDriver()
+        ChurnScheduler(g, trace, rng=63).attach(driver)
+        monitor = AggregationMonitor(g, restart_interval=45, rng=64)
+        monitor.attach(driver)
+        driver.run(250)
+        # After churn ends, a full epoch converges to the size of the
+        # initiator's connected component.
+        final = monitor.epoch_estimates[-1][1]
+        expected = largest_component_fraction(g) * g.size
+        assert final == pytest.approx(expected, rel=0.1)
+
+    def test_tight_epochs_underestimate_on_degraded_overlay(self):
+        # The flip side the paper observes in Fig 17: when the epoch is too
+        # short for the degraded overlay, estimates fall short of the truth.
+        g = heterogeneous_random(1_500, rng=62)
+        trace = shrinking_trace(1_500, 0.4, start=1, end=150, steps=15)
+        driver = RoundDriver()
+        ChurnScheduler(g, trace, rng=63).attach(driver)
+        monitor = AggregationMonitor(g, restart_interval=25, rng=64)
+        monitor.attach(driver)
+        driver.run(250)
+        final = monitor.epoch_estimates[-1][1]
+        assert final < largest_component_fraction(g) * g.size
+
+    def test_heavy_shrinkage_degrades_overlay_and_aggregation(self):
+        # Push removals far enough to fragment the unrepai­red overlay; the
+        # epoch estimate then reflects the initiator's component, not N.
+        g = heterogeneous_random(2_000, rng=65)
+        trace = shrinking_trace(2_000, 0.85, start=1, end=10, steps=10)
+        sched = ChurnScheduler(g, trace, rng=66)
+        sched.advance_to(10)
+        assert largest_component_fraction(g) < 0.95
+        proto = AggregationProtocol(g, rng=67)
+        est = proto.estimate(rounds=40)
+        assert est.value < g.size  # undercounts the fragmented overlay
+
+
+class TestSharedMeter:
+    def test_meter_aggregates_across_algorithms(self, overlay):
+        meter = MessageMeter()
+        e1 = SampleCollideEstimator(overlay, l=20, rng=8, meter=meter).estimate()
+        e2 = HopsSamplingEstimator(overlay, rng=8, meter=meter).estimate()
+        e3 = RandomTourEstimator(overlay, rng=8, meter=meter).estimate()
+        assert meter.total == e1.messages + e2.messages + e3.messages

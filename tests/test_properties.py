@@ -1,0 +1,107 @@
+"""Cross-module property tests: the full pipeline under random churn.
+
+Hypothesis drives arbitrary-but-valid churn schedules against live
+estimators and checks the system-level invariants: graphs stay structurally
+sound, estimators either produce positive finite estimates or raise
+:class:`EstimatorError` (never crash, never return garbage), message
+accounting only moves forward, and aggregation's mass stays within the
+[0, 1] envelope (departures may destroy mass, nothing may create it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import AggregationProtocol
+from repro.core.base import EstimatorError
+from repro.core.hops_sampling import HopsSamplingEstimator
+from repro.core.sample_collide import SampleCollideEstimator
+from repro.overlay.builders import heterogeneous_random
+from repro.overlay.membership import MembershipPolicy
+
+# churn step: (+k joins) or (-k leaves), k in 1..40
+_churn_steps = st.lists(st.integers(-40, 40).filter(lambda k: k != 0), max_size=8)
+
+
+def _apply_churn(graph, policy, steps):
+    for k in steps:
+        if k > 0:
+            policy.join(k)
+        else:
+            policy.leave(min(-k, max(graph.size - 1, 0)))
+
+
+@given(_churn_steps, st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_graph_invariants_survive_any_churn(steps, seed):
+    graph = heterogeneous_random(150, rng=seed)
+    policy = MembershipPolicy(graph, rng=seed + 1)
+    _apply_churn(graph, policy, steps)
+    graph.check_invariants()
+    assert graph.size >= 1
+
+
+@given(_churn_steps, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sample_collide_sound_after_any_churn(steps, seed):
+    graph = heterogeneous_random(150, rng=seed)
+    policy = MembershipPolicy(graph, rng=seed + 1)
+    _apply_churn(graph, policy, steps)
+    try:
+        est = SampleCollideEstimator(graph, l=10, rng=seed + 2).estimate()
+    except EstimatorError:
+        return  # a failed probe is a legal outcome on a degraded overlay
+    assert np.isfinite(est.value) and est.value > 0
+    assert est.messages >= est.meta["draws"]  # every draw cost >= 1 reply
+
+
+@given(_churn_steps, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_hops_sampling_sound_after_any_churn(steps, seed):
+    graph = heterogeneous_random(150, rng=seed)
+    policy = MembershipPolicy(graph, rng=seed + 1)
+    _apply_churn(graph, policy, steps)
+    try:
+        est = HopsSamplingEstimator(graph, rng=seed + 2).estimate()
+    except EstimatorError:
+        return
+    assert np.isfinite(est.value) and est.value >= 1.0
+    assert 1 <= est.meta["reached"] <= graph.size
+
+
+@given(_churn_steps, st.integers(0, 2**31 - 1), st.integers(1, 12))
+@settings(max_examples=20, deadline=None)
+def test_aggregation_mass_envelope_under_interleaved_churn(steps, seed, rounds_between):
+    """Mass can only be destroyed (by departures), never created."""
+    graph = heterogeneous_random(150, rng=seed)
+    policy = MembershipPolicy(graph, rng=seed + 1)
+    proto = AggregationProtocol(graph, rng=seed + 2)
+    proto.start_epoch()
+    mass = proto.total_mass()
+    assert mass == 1.0
+    for k in steps:
+        proto.run_rounds(rounds_between)
+        if k > 0:
+            policy.join(k)
+        else:
+            policy.leave(min(-k, max(graph.size - 1, 0)))
+        proto.run_round()
+        new_mass = proto.total_mass()
+        assert new_mass <= mass + 1e-9  # monotone non-increasing
+        assert new_mass >= -1e-12
+        mass = new_mass
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_estimators_deterministic_across_replays(seed):
+    """Same seed, same overlay => bit-identical estimates and costs."""
+    results = []
+    for _ in range(2):
+        graph = heterogeneous_random(200, rng=seed)
+        sc = SampleCollideEstimator(graph, l=15, rng=seed + 1).estimate()
+        hops = HopsSamplingEstimator(graph, rng=seed + 2).estimate()
+        results.append((sc.value, sc.messages, hops.value, hops.messages))
+    assert results[0] == results[1]
