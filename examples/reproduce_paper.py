@@ -7,6 +7,10 @@ and prints a closing summary of paper-shape checks.
 
 Run (≈30 s at the small scale, minutes at default):
     python examples/reproduce_paper.py --scale small
+
+Shard each figure's trials over worker processes and cache results so a
+rerun only recomputes what changed:
+    python examples/reproduce_paper.py --scale small --workers 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import time
 from repro.analysis.ascii_chart import render_figure, render_table
 from repro.analysis.curves import FigureResult
 from repro.experiments import FIGURES, TABLES
+from repro.runtime import RuntimeOptions, supports_runtime
 
 
 def main() -> None:
@@ -26,14 +31,22 @@ def main() -> None:
                         choices=["small", "default", "paper"])
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("results"))
     parser.add_argument("--seed", type=int, default=20060619)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per experiment (results identical)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help="content-addressed results store for instant reruns")
     args = parser.parse_args()
 
     args.out.mkdir(parents=True, exist_ok=True)
+    runtime = RuntimeOptions.create(workers=args.workers, cache_dir=args.cache_dir)
     started = time.perf_counter()
 
     for name, fn in list(FIGURES.items()) + list(TABLES.items()):
         t0 = time.perf_counter()
-        result = fn(scale=args.scale, seed=args.seed)
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if supports_runtime(fn):
+            kwargs["runtime"] = runtime
+        result = fn(**kwargs)
         elapsed = time.perf_counter() - t0
         if isinstance(result, FigureResult):
             print(render_figure(result))

@@ -13,11 +13,17 @@ Run Table I at the small (benchmark) scale and save CSVs::
 Run everything (can take a while at default scale)::
 
     repro-experiment all --scale small
+
+Shard the trials of each figure over 4 worker processes and cache results
+so the next identical invocation is served from disk::
+
+    repro-experiment fig1 --scale small --workers 4 --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -25,10 +31,22 @@ from typing import List, Optional
 
 from ..analysis.ascii_chart import render_figure, render_table
 from ..analysis.curves import FigureResult, TableResult
+from ..runtime import LogProgress, RuntimeOptions, supports_runtime
 from . import FIGURES, TABLES
 from .config import SCALES
 
 __all__ = ["main", "build_parser"]
+
+
+def _cache_dir(value: str) -> pathlib.Path:
+    """Reject a cache path that exists but is not a directory up front,
+    instead of tracebacking at save time after the trials already ran."""
+    path = pathlib.Path(value)
+    if path.exists() and not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"--cache-dir {value!r} exists and is not a directory"
+        )
+    return path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,13 +80,54 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress chart rendering (CSV only)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "1")),
+        help=(
+            "worker processes for trial execution (default: $REPRO_WORKERS or 1; "
+            "results are bit-identical at any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=None,
+        help=(
+            "content-addressed results store; reruns of an identical "
+            "experiment are served from it without recomputation"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when the cache holds the experiment (and refresh it)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log trial progress to stderr",
+    )
     return parser
+
+
+def _runtime_options(args) -> RuntimeOptions:
+    """Map parsed CLI arguments onto the runtime's execution knobs."""
+    return RuntimeOptions.create(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        force=args.force,
+        progress=LogProgress() if args.progress else None,
+    )
 
 
 def _run_one(name: str, args) -> object:
     fn = FIGURES.get(name) or TABLES.get(name)
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if supports_runtime(fn):
+        kwargs["runtime"] = _runtime_options(args)
     start = time.perf_counter()
-    result = fn(scale=args.scale, seed=args.seed)
+    result = fn(**kwargs)
     elapsed = time.perf_counter() - start
     if not args.quiet:
         if isinstance(result, FigureResult):

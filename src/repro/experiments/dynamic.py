@@ -10,11 +10,17 @@ steady growth (+50%), steady shrinkage (−50%) — against each candidate:
 The y-axis is the raw estimated size against the true (moving) size; each
 figure carries three independent estimation streams over the *same*
 evolving overlay, as in the paper's plots (Estimation #1/#2/#3 + Real size).
+
+All figures route through :mod:`repro.runtime`: the probe figures express
+each (stream, estimation) pair as one trial of the ``multi_probe`` kind
+(workers replay the shared churn schedule, which draws from its own RNG
+stream, so parallel chunks reproduce the serial overlay state exactly),
+and the Aggregation figures parallelize over their independent runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, List, Optional
 
 from ..analysis.curves import FigureResult
 from ..churn.models import (
@@ -23,14 +29,17 @@ from ..churn.models import (
     growing_trace,
     shrinking_trace,
 )
-from ..churn.scheduler import ChurnScheduler
-from ..core.base import EstimatorError
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.sample_collide import SampleCollideEstimator
+from ..runtime import (
+    EstimatorSpec,
+    RuntimeOptions,
+    TrialSpec,
+    run_trials,
+    trace_to_payload,
+)
 from ..sim.metrics import EstimateSeries, RollingAverage
 from ..sim.rng import RngHub
 from .config import ExperimentConfig, resolve_scale
-from .runner import aggregation_dynamic, build_overlay
+from .runner import aggregation_dynamic, overlay_spec
 
 __all__ = [
     "fig09_sc_catastrophic",
@@ -67,37 +76,48 @@ def _multi_probe_figure(
     figure_id: str,
     title: str,
     scenario: str,
-    make_estimator: Callable,
+    estimator: EstimatorSpec,
     cfg: ExperimentConfig,
     smooth_window: int = 0,
     notes: str = "",
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Run _STREAMS estimator streams over one churning overlay."""
     hub = RngHub(cfg.seed).child(figure_id)
     n = cfg.scale.n_100k
     count = cfg.scale.dynamic_estimations
-    graph = build_overlay(cfg, n, hub)
-    trace = _probe_trace(scenario, n, count)
-    scheduler = ChurnScheduler(
-        graph, trace, rng=hub.stream("churn"), max_degree=cfg.max_degree
-    )
+    params = {
+        "trace": trace_to_payload(_probe_trace(scenario, n, count)),
+        "time_per_estimation": 1.0,
+        "max_degree": int(cfg.max_degree),
+    }
+    specs = [
+        TrialSpec(
+            "multi_probe",
+            hub.seed,
+            i,
+            overlay=overlay_spec(cfg, n),
+            estimator=estimator,
+            params=params,
+            stream=k,
+        )
+        for i in range(1, count + 1)
+        for k in range(_STREAMS)
+    ]
+    results = run_trials(specs, runtime=runtime)
 
-    streams = [EstimateSeries(name=f"Estimation #{k + 1}") for k in range(_STREAMS)]
-    smoothers = [RollingAverage(smooth_window) if smooth_window else None
-                 for _ in range(_STREAMS)]
-    for i in range(1, count + 1):
-        scheduler.advance_to(float(i))
-        if graph.size == 0:
-            break
-        for k, series in enumerate(streams):
-            try:
-                est = make_estimator(graph, hub.child(f"s{k}r{i}")).estimate()
-                value = est.value
-            except EstimatorError:
-                value = float("nan")
-            if smoothers[k] is not None and value == value:  # skip NaN
-                value = smoothers[k].push(value)
-            series.append(i, value, graph.size)
+    streams: List[EstimateSeries] = []
+    for k in range(_STREAMS):
+        smoother = RollingAverage(smooth_window) if smooth_window else None
+        series = EstimateSeries(name=f"Estimation #{k + 1}")
+        for result in results:
+            if result.stream != k:
+                continue
+            value = result.value
+            if smoother is not None and value == value:  # skip NaN
+                value = smoother.push(value)
+            series.append(result.index, value, result.true_size)
+        streams.append(series)
 
     fig = FigureResult(
         figure_id=figure_id,
@@ -131,16 +151,11 @@ def _cfg(scale, seed) -> ExperimentConfig:
 # ----------------------------------------------------------------------
 
 
-def _sc(cfg: ExperimentConfig):
-    def make(graph, hub: RngHub):
-        return SampleCollideEstimator(
-            graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.stream("sc")
-        )
-
-    return make
+def _sc(cfg: ExperimentConfig) -> EstimatorSpec:
+    return EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer)
 
 
-def fig09_sc_catastrophic(scale=None, seed=None) -> FigureResult:
+def fig09_sc_catastrophic(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 9: S&C oneShot under two −25% catastrophic failures.
 
     Expected shape: tracks the drops immediately (no memory)."""
@@ -152,10 +167,11 @@ def fig09_sc_catastrophic(scale=None, seed=None) -> FigureResult:
         _sc(cfg),
         cfg,
         notes="paper: reacts very well to brutal size changes",
+        runtime=runtime,
     )
 
 
-def fig10_sc_growing(scale=None, seed=None) -> FigureResult:
+def fig10_sc_growing(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 10: S&C oneShot on a +50% growing overlay."""
     cfg = _cfg(scale, seed)
     return _multi_probe_figure(
@@ -165,10 +181,11 @@ def fig10_sc_growing(scale=None, seed=None) -> FigureResult:
         _sc(cfg),
         cfg,
         notes="paper: estimation follows the real size closely",
+        runtime=runtime,
     )
 
 
-def fig11_sc_shrinking(scale=None, seed=None) -> FigureResult:
+def fig11_sc_shrinking(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 11: S&C oneShot on a −50% shrinking overlay."""
     cfg = _cfg(scale, seed)
     return _multi_probe_figure(
@@ -178,6 +195,7 @@ def fig11_sc_shrinking(scale=None, seed=None) -> FigureResult:
         _sc(cfg),
         cfg,
         notes="paper: reliable despite overlay connectivity degradation",
+        runtime=runtime,
     )
 
 
@@ -186,19 +204,13 @@ def fig11_sc_shrinking(scale=None, seed=None) -> FigureResult:
 # ----------------------------------------------------------------------
 
 
-def _hops(cfg: ExperimentConfig):
-    def make(graph, hub: RngHub):
-        return HopsSamplingEstimator(
-            graph,
-            gossip_to=cfg.hops_fanout,
-            min_hops_reporting=cfg.hops_min_reporting,
-            rng=hub.stream("hops"),
-        )
-
-    return make
+def _hops(cfg: ExperimentConfig) -> EstimatorSpec:
+    return EstimatorSpec.hops_sampling(
+        gossip_to=cfg.hops_fanout, min_hops_reporting=cfg.hops_min_reporting
+    )
 
 
-def fig12_hops_catastrophic(scale=None, seed=None) -> FigureResult:
+def fig12_hops_catastrophic(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 12: HopsSampling last10runs under catastrophic failures.
 
     Expected shape: follows the drops with the smoothing window's lag,
@@ -212,10 +224,11 @@ def fig12_hops_catastrophic(scale=None, seed=None) -> FigureResult:
         cfg,
         smooth_window=cfg.last_runs_window,
         notes="paper: good behaviour; slight under-estimate; lags by the averaging window",
+        runtime=runtime,
     )
 
 
-def fig13_hops_growing(scale=None, seed=None) -> FigureResult:
+def fig13_hops_growing(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 13: HopsSampling last10runs on a +50% growing overlay."""
     cfg = _cfg(scale, seed)
     return _multi_probe_figure(
@@ -226,10 +239,11 @@ def fig13_hops_growing(scale=None, seed=None) -> FigureResult:
         cfg,
         smooth_window=cfg.last_runs_window,
         notes="paper: follows growth, stays slightly under the real size",
+        runtime=runtime,
     )
 
 
-def fig14_hops_shrinking(scale=None, seed=None) -> FigureResult:
+def fig14_hops_shrinking(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 14: HopsSampling last10runs on a −50% shrinking overlay."""
     cfg = _cfg(scale, seed)
     return _multi_probe_figure(
@@ -240,6 +254,7 @@ def fig14_hops_shrinking(scale=None, seed=None) -> FigureResult:
         cfg,
         smooth_window=cfg.last_runs_window,
         notes="paper: tracks the shrink; higher variation than S&C",
+        runtime=runtime,
     )
 
 
@@ -254,12 +269,13 @@ def _agg_figure(
     trace_factory: Callable[[int], ChurnTrace],
     cfg: ExperimentConfig,
     notes: str,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     hub = RngHub(cfg.seed).child(figure_id)
     n = cfg.scale.n_100k
     horizon = cfg.scale.aggregation_horizon
     series_list, failures = aggregation_dynamic(
-        cfg, n, trace_factory, horizon, hub, runs=_STREAMS
+        cfg, n, trace_factory, horizon, hub, runs=_STREAMS, runtime=runtime
     )
     fig = FigureResult(
         figure_id=figure_id,
@@ -281,7 +297,7 @@ def _agg_figure(
     return fig
 
 
-def fig15_agg_failures(scale=None, seed=None) -> FigureResult:
+def fig15_agg_failures(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 15: Aggregation under catastrophic failures.
 
     Paper schedule (on the 10,000-round horizon): −25% at rounds 100 and
@@ -306,10 +322,11 @@ def fig15_agg_failures(scale=None, seed=None) -> FigureResult:
         trace,
         cfg,
         notes="paper: reasonable until ~30% cumulative departures; lag = one epoch",
+        runtime=runtime,
     )
 
 
-def fig16_agg_growing(scale=None, seed=None) -> FigureResult:
+def fig16_agg_growing(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 16: Aggregation on a +50% growing overlay.
 
     Expected shape: good adaptation — joiners enter epochs at value 0,
@@ -333,10 +350,11 @@ def fig16_agg_growing(scale=None, seed=None) -> FigureResult:
         trace,
         cfg,
         notes="paper: fairly good adaptation to growth",
+        runtime=runtime,
     )
 
 
-def fig17_agg_shrinking(scale=None, seed=None) -> FigureResult:
+def fig17_agg_shrinking(scale=None, seed=None, runtime=None) -> FigureResult:
     """Fig 17: Aggregation on a −50% shrinking overlay.
 
     Expected shape: tracks with epoch lag until cumulative departures
@@ -357,4 +375,5 @@ def fig17_agg_shrinking(scale=None, seed=None) -> FigureResult:
         trace,
         cfg,
         notes="paper: degrades past ~30% departures (overlay loses connectivity)",
+        runtime=runtime,
     )

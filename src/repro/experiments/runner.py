@@ -2,29 +2,50 @@
 
 Each paper figure is "run algorithm X on overlay Y under churn Z and log a
 series"; this module provides those three verbs so the per-figure functions
-in :mod:`repro.experiments.figures` stay declarative.
+in the experiment modules stay declarative.
+
+Every series runner routes through :func:`repro.runtime.run_trials`: the
+experiment is expressed as a batch of picklable
+:class:`~repro.runtime.TrialSpec` units, which the runtime executes
+serially or over a worker pool and (optionally) serves from its
+content-addressed results store.  Callers pick the execution policy via the
+``runtime`` argument (:class:`~repro.runtime.RuntimeOptions`); ``None``
+means serial and uncached, the historical behaviour.
+
+The overlay/estimator arguments accept either declarative specs
+(:class:`~repro.runtime.OverlaySpec` / :class:`~repro.runtime.EstimatorSpec`
+— portable, parallelizable, cacheable) or live objects (an
+:class:`~repro.overlay.graph.OverlayGraph`, a factory closure), which run
+serially in-process.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..churn.models import ChurnTrace
-from ..churn.scheduler import ChurnScheduler
-from ..core.aggregation import AggregationMonitor, AggregationProtocol
-from ..core.base import Estimate, EstimatorError, SizeEstimator
 from ..overlay.builders import heterogeneous_random, scale_free
 from ..overlay.graph import OverlayGraph
+from ..runtime import (
+    EstimatorSpec,
+    OverlaySpec,
+    RuntimeOptions,
+    TrialSpec,
+    run_trials,
+    series_from_results,
+    trace_to_payload,
+)
 from ..sim.metrics import EstimateSeries
 from ..sim.rng import RngHub
-from ..sim.rounds import RoundDriver
+from ..core.base import SizeEstimator
 from .config import ExperimentConfig
 
 __all__ = [
     "build_overlay",
     "build_scale_free_overlay",
+    "overlay_spec",
     "static_probe_series",
     "dynamic_probe_series",
     "aggregation_convergence",
@@ -32,6 +53,10 @@ __all__ = [
 ]
 
 EstimatorFactory = Callable[[OverlayGraph, RngHub], SizeEstimator]
+#: Anything the series runners accept as "the overlay".
+OverlayLike = Union[OverlayGraph, OverlaySpec]
+#: Anything the series runners accept as "the estimator".
+EstimatorLike = Union[EstimatorFactory, EstimatorSpec]
 
 
 def build_overlay(cfg: ExperimentConfig, n: int, hub: RngHub) -> OverlayGraph:
@@ -44,17 +69,26 @@ def build_overlay(cfg: ExperimentConfig, n: int, hub: RngHub) -> OverlayGraph:
     )
 
 
+def overlay_spec(cfg: ExperimentConfig, n: int) -> OverlaySpec:
+    """Declarative (portable) form of :func:`build_overlay`."""
+    return OverlaySpec.heterogeneous(
+        n, max_degree=cfg.max_degree, min_degree=cfg.min_degree
+    )
+
+
 def build_scale_free_overlay(n: int, hub: RngHub, m: int = 3) -> OverlayGraph:
     """The Fig 7/8 Barabási–Albert overlay (min degree 3)."""
     return scale_free(n, m=m, rng=hub.stream("overlay.sf"))
 
 
 def static_probe_series(
-    factory: EstimatorFactory,
-    graph: OverlayGraph,
+    factory: EstimatorLike,
+    graph: OverlayLike,
     count: int,
     hub: RngHub,
     label: str = "",
+    runtime: Optional[RuntimeOptions] = None,
+    overlay_seed: Optional[int] = None,
 ) -> EstimateSeries:
     """Run ``count`` independent one-shot estimations on a static overlay.
 
@@ -63,23 +97,34 @@ def static_probe_series(
     the one-shot estimates are logged against the estimation index.
     The *last10runs* curves are derived later via
     :meth:`~repro.sim.metrics.EstimateSeries.rolling_qualities`.
+
+    ``overlay_seed`` pins the hub the overlay is (re)built from when it
+    differs from the series hub (Fig 8 shares one overlay across series).
     """
-    series = EstimateSeries(name=label)
-    for i in range(1, count + 1):
-        est = factory(graph, hub.child(f"run{i}")).estimate()
-        series.append(i, est.value, graph.size)
-    return series
+    specs = [
+        TrialSpec(
+            "static_probe",
+            hub.seed,
+            i,
+            overlay=graph,
+            estimator=factory,
+            overlay_seed=overlay_seed,
+        )
+        for i in range(1, count + 1)
+    ]
+    return series_from_results(run_trials(specs, runtime=runtime), name=label)
 
 
 def dynamic_probe_series(
-    factory: EstimatorFactory,
-    graph: OverlayGraph,
+    factory: EstimatorLike,
+    graph: OverlayLike,
     trace: ChurnTrace,
     count: int,
     hub: RngHub,
     label: str = "",
     time_per_estimation: float = 1.0,
     max_degree: int = 10,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> EstimateSeries:
     """Probe-style estimations interleaved with churn (Figs 9-14).
 
@@ -90,28 +135,31 @@ def dynamic_probe_series(
     rather than aborting the series — a real monitor would simply miss that
     sample.
     """
-    scheduler = ChurnScheduler(
-        graph, trace, rng=hub.stream("churn"), max_degree=max_degree
-    )
-    series = EstimateSeries(name=label)
-    for i in range(1, count + 1):
-        scheduler.advance_to(i * time_per_estimation)
-        if graph.size == 0:
-            break
-        try:
-            est = factory(graph, hub.child(f"run{i}")).estimate()
-            value = est.value
-        except EstimatorError:
-            value = float("nan")
-        series.append(i, value, graph.size)
-    return series
+    params = {
+        "trace": trace_to_payload(trace),
+        "time_per_estimation": float(time_per_estimation),
+        "max_degree": int(max_degree),
+    }
+    specs = [
+        TrialSpec(
+            "dynamic_probe",
+            hub.seed,
+            i,
+            overlay=graph,
+            estimator=factory,
+            params=params,
+        )
+        for i in range(1, count + 1)
+    ]
+    return series_from_results(run_trials(specs, runtime=runtime), name=label)
 
 
 def aggregation_convergence(
-    graph: OverlayGraph,
+    graph: OverlayLike,
     rounds: int,
     hub: RngHub,
     runs: int = 3,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
     """Per-round convergence curves for ``runs`` independent epochs (Figs 5-6).
 
@@ -120,19 +168,20 @@ def aggregation_convergence(
     has not yet reached a readable state (the paper's curves likewise start
     near 0 and rise to 100).
     """
+    specs = [
+        TrialSpec(
+            "agg_convergence",
+            hub.seed,
+            r,
+            overlay=graph,
+            params={"rounds": int(rounds)},
+        )
+        for r in range(runs)
+    ]
     curves: List[Tuple[np.ndarray, np.ndarray]] = []
-    n = graph.size
-    for r in range(runs):
-        proto = AggregationProtocol(graph, rng=hub.child(f"agg{r}").stream("proto"))
-        proto.start_epoch()
-        xs = np.arange(1, rounds + 1, dtype=float)
-        qs = np.empty(rounds, dtype=float)
-        for i in range(rounds):
-            proto.run_round()
-            try:
-                qs[i] = proto.read().quality(n)
-            except EstimatorError:  # pragma: no cover - initiator always has value
-                qs[i] = 0.0
+    for result in run_trials(specs, runtime=runtime):
+        qs = np.asarray(result.extra["quality"], dtype=float)
+        xs = np.arange(1, qs.size + 1, dtype=float)
         curves.append((xs, qs))
     return curves
 
@@ -145,6 +194,7 @@ def aggregation_dynamic(
     hub: RngHub,
     runs: int = 3,
     restart_interval: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> Tuple[List[EstimateSeries], List[int]]:
     """Continuous Aggregation monitoring under churn (Figs 15-17).
 
@@ -154,31 +204,30 @@ def aggregation_dynamic(
     size) and the per-run failed-epoch counts.
     """
     interval = restart_interval or cfg.scale.restart_interval
+    params = {
+        "trace": trace_to_payload(trace_factory(n)),
+        "horizon": int(horizon),
+        "restart_interval": int(interval),
+        "max_degree": int(cfg.max_degree),
+    }
+    specs = [
+        TrialSpec(
+            "agg_dynamic",
+            hub.seed,
+            r,
+            overlay=overlay_spec(cfg, n),
+            params=params,
+        )
+        for r in range(runs)
+    ]
     all_series: List[EstimateSeries] = []
     failures: List[int] = []
-    for r in range(runs):
-        run_hub = hub.child(f"aggdyn{r}")
-        graph = build_overlay(cfg, n, run_hub)
-        driver = RoundDriver()
-        scheduler = ChurnScheduler(
-            graph,
-            trace_factory(n),
-            rng=run_hub.stream("churn"),
-            max_degree=cfg.max_degree,
-        )
-        scheduler.attach(driver)
-        monitor = AggregationMonitor(
-            graph, restart_interval=interval, rng=run_hub.stream("monitor")
-        )
-        monitor.attach(driver)
-        sizes: List[int] = []
-        driver.subscribe(lambda rnd, g=graph, s=sizes: s.append(g.size), priority=30)
-        driver.run(horizon)
-
-        series = EstimateSeries(name=f"run{r + 1}")
-        for rnd, (est, size) in enumerate(zip(monitor.series, sizes), start=1):
-            if size > 0:
-                series.append(rnd, est, size)
+    for result in run_trials(specs, runtime=runtime):
+        series = EstimateSeries(name=f"run{result.index + 1}")
+        for x, est, size in zip(
+            result.extra["x"], result.extra["estimates"], result.extra["true"]
+        ):
+            series.append(x, est, size)
         all_series.append(series)
-        failures.append(monitor.failures)
+        failures.append(int(result.extra["failures"]))
     return all_series, failures

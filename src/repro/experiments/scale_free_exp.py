@@ -16,11 +16,15 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.curves import FigureResult
-from ..core.aggregation import AggregationProtocol
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.sample_collide import SampleCollideEstimator
 from ..overlay.views import degree_histogram, degree_stats, powerlaw_exponent
-from ..sim.metrics import EstimateSeries
+from ..runtime import (
+    EstimatorSpec,
+    OverlaySpec,
+    RuntimeOptions,
+    TrialSpec,
+    run_trials,
+    series_from_results,
+)
 from ..sim.rng import RngHub
 from .config import ExperimentConfig, resolve_scale
 from .runner import build_scale_free_overlay, static_probe_series
@@ -66,52 +70,65 @@ def fig07_scale_free_degrees(
 
 
 def fig08_scale_free_comparison(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 8: the three candidates head-to-head on one scale-free overlay.
 
     Expected shape: Sample&Collide and Aggregation stay near 100%;
     HopsSampling's under-estimation is amplified versus the random overlay.
+
+    All three series share one overlay realization: the spec is rebuilt in
+    each worker from the figure hub's seed (``overlay_seed``), while each
+    series draws estimation randomness from its own child hub.
     """
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
     hub = RngHub(cfg.seed).child("fig08")
-    graph = build_scale_free_overlay(cfg.scale.n_100k, hub, m=3)
-    n = graph.size
+    n = cfg.scale.n_100k
     count = cfg.scale.static_estimations
+    overlay = OverlaySpec.scale_free(n, m=3)
 
     sc_series = static_probe_series(
-        lambda g, h: SampleCollideEstimator(
-            g, l=cfg.sc_l, timer=cfg.sc_timer, rng=h.stream("sc")
-        ),
-        graph,
+        EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer),
+        overlay,
         count,
         hub.child("sc"),
         label="sample_collide",
+        runtime=runtime,
+        overlay_seed=hub.seed,
     )
     hops_series = static_probe_series(
-        lambda g, h: HopsSamplingEstimator(
-            g,
-            gossip_to=cfg.hops_fanout,
-            min_hops_reporting=cfg.hops_min_reporting,
-            rng=h.stream("hops"),
+        EstimatorSpec.hops_sampling(
+            gossip_to=cfg.hops_fanout, min_hops_reporting=cfg.hops_min_reporting
         ),
-        graph,
+        overlay,
         count,
         hub.child("hops"),
         label="hops_sampling",
+        runtime=runtime,
+        overlay_seed=hub.seed,
     )
     # Aggregation: one fresh 50-round epoch per estimation (paper: "each
     # Aggregation estimation occurs after 50 rounds" — kept fixed at the
     # paper's value rather than the scaled restart interval, since this is
     # a static experiment where only full convergence is of interest).
-    agg_series = EstimateSeries(name="aggregation")
-    agg_hub = hub.child("agg")
-    for i in range(1, count + 1):
-        proto = AggregationProtocol(graph, rng=agg_hub.fresh("proto"))
-        est = proto.estimate(rounds=50)
-        agg_series.append(i, est.value, n)
+    agg_specs = [
+        TrialSpec(
+            "agg_epoch",
+            hub.child("agg").seed,
+            i,
+            overlay=overlay,
+            overlay_seed=hub.seed,
+            params={"rounds": 50},
+        )
+        for i in range(1, count + 1)
+    ]
+    agg_series = series_from_results(
+        run_trials(agg_specs, runtime=runtime), name="aggregation"
+    )
 
     fig = FigureResult(
         figure_id="fig08",

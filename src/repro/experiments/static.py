@@ -2,6 +2,11 @@
 
 All run on the heterogeneous random overlay (max degree 10, average ≈7.2)
 with the size held constant; quality is normalized to 100.
+
+Every figure routes through the :mod:`repro.runtime` subsystem: trials are
+declared as picklable specs, so ``runtime=RuntimeOptions(workers=...)``
+shards them over a process pool and ``store=`` turns reruns into cache
+hits, with results bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -9,11 +14,10 @@ from __future__ import annotations
 from typing import Optional
 
 from ..analysis.curves import FigureResult
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.sample_collide import SampleCollideEstimator
+from ..runtime import EstimatorSpec, RuntimeOptions
 from ..sim.rng import RngHub
 from .config import ExperimentConfig, resolve_scale
-from .runner import aggregation_convergence, build_overlay, static_probe_series
+from .runner import aggregation_convergence, overlay_spec, static_probe_series
 
 __all__ = [
     "fig01_sample_collide_100k",
@@ -26,39 +30,35 @@ __all__ = [
 ]
 
 
-def _sc_factory(cfg: ExperimentConfig, l: int):
-    def make(graph, hub: RngHub):
-        return SampleCollideEstimator(
-            graph, l=l, timer=cfg.sc_timer, rng=hub.stream("sc")
-        )
-
-    return make
+def _sc_spec(cfg: ExperimentConfig, l: int) -> EstimatorSpec:
+    return EstimatorSpec.sample_collide(l=l, timer=cfg.sc_timer)
 
 
-def _hops_factory(cfg: ExperimentConfig):
-    def make(graph, hub: RngHub):
-        return HopsSamplingEstimator(
-            graph,
-            gossip_to=cfg.hops_fanout,
-            min_hops_reporting=cfg.hops_min_reporting,
-            rng=hub.stream("hops"),
-        )
-
-    return make
+def _hops_spec(cfg: ExperimentConfig) -> EstimatorSpec:
+    return EstimatorSpec.hops_sampling(
+        gossip_to=cfg.hops_fanout, min_hops_reporting=cfg.hops_min_reporting
+    )
 
 
 def _probe_figure(
     figure_id: str,
     title: str,
-    factory,
+    estimator: EstimatorSpec,
     n: int,
     count: int,
     cfg: ExperimentConfig,
     notes: str,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     hub = RngHub(cfg.seed).child(figure_id)
-    graph = build_overlay(cfg, n, hub)
-    series = static_probe_series(factory, graph, count, hub, label=figure_id)
+    series = static_probe_series(
+        estimator,
+        overlay_spec(cfg, n),
+        count,
+        hub,
+        label=figure_id,
+        runtime=runtime,
+    )
     fig = FigureResult(
         figure_id=figure_id,
         title=title,
@@ -77,7 +77,9 @@ def _probe_figure(
 
 
 def fig01_sample_collide_100k(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 1: Sample&Collide oneShot & last10runs, l=200, '100k' overlay.
 
@@ -90,16 +92,19 @@ def fig01_sample_collide_100k(
     return _probe_figure(
         "fig01",
         "Sample&Collide oneShot/last10runs, l=200, static (paper: 100,000 nodes)",
-        _sc_factory(cfg, cfg.sc_l),
+        _sc_spec(cfg, cfg.sc_l),
         cfg.scale.n_100k,
         cfg.scale.static_estimations,
         cfg,
         notes="paper shape: oneShot within ~10% (peaks to 20%), last10runs within 3-4%",
+        runtime=runtime,
     )
 
 
 def fig02_sample_collide_1m(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 2: as Fig 1 on the '1M' overlay (18 estimations)."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
@@ -108,16 +113,19 @@ def fig02_sample_collide_1m(
     return _probe_figure(
         "fig02",
         "Sample&Collide oneShot/last10runs, l=200, static (paper: 1,000,000 nodes)",
-        _sc_factory(cfg, cfg.sc_l),
+        _sc_spec(cfg, cfg.sc_l),
         cfg.scale.n_1m,
         cfg.scale.static_estimations_1m,
         cfg,
         notes="accuracy depends on l only, not N: same bands as fig01",
+        runtime=runtime,
     )
 
 
 def fig03_hops_sampling_100k(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 3: HopsSampling oneShot & last10runs, '100k' overlay.
 
@@ -130,16 +138,19 @@ def fig03_hops_sampling_100k(
     return _probe_figure(
         "fig03",
         "HopsSampling oneShot/last10runs, static (paper: 100,000 nodes)",
-        _hops_factory(cfg),
+        _hops_spec(cfg),
         cfg.scale.n_100k,
         cfg.scale.static_estimations,
         cfg,
         notes="paper shape: last10runs within ~20%, oneShot peaks >50%, under-estimates",
+        runtime=runtime,
     )
 
 
 def fig04_hops_sampling_1m(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 4: as Fig 3 on the '1M' overlay (20 estimations)."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
@@ -148,20 +159,30 @@ def fig04_hops_sampling_1m(
     return _probe_figure(
         "fig04",
         "HopsSampling oneShot/last10runs, static (paper: 1,000,000 nodes)",
-        _hops_factory(cfg),
+        _hops_spec(cfg),
         cfg.scale.n_1m,
         max(cfg.scale.static_estimations_1m, 20),
         cfg,
         notes="algorithm scales: same bands as fig03",
+        runtime=runtime,
     )
 
 
 def _aggregation_figure(
-    figure_id: str, title: str, n: int, cfg: ExperimentConfig
+    figure_id: str,
+    title: str,
+    n: int,
+    cfg: ExperimentConfig,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     hub = RngHub(cfg.seed).child(figure_id)
-    graph = build_overlay(cfg, n, hub)
-    curves = aggregation_convergence(graph, cfg.scale.aggregation_rounds, hub, runs=3)
+    curves = aggregation_convergence(
+        overlay_spec(cfg, n),
+        cfg.scale.aggregation_rounds,
+        hub,
+        runs=3,
+        runtime=runtime,
+    )
     fig = FigureResult(
         figure_id=figure_id,
         title=title,
@@ -176,7 +197,9 @@ def _aggregation_figure(
 
 
 def fig05_aggregation_100k(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 5: Aggregation quality vs round, 3 epochs, '100k' overlay."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
@@ -187,11 +210,14 @@ def fig05_aggregation_100k(
         "Aggregation convergence (paper: 100,000 nodes)",
         cfg.scale.n_100k,
         cfg,
+        runtime=runtime,
     )
 
 
 def fig06_aggregation_1m(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 6: Aggregation quality vs round, 3 epochs, '1M' overlay."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
@@ -202,11 +228,14 @@ def fig06_aggregation_1m(
         "Aggregation convergence (paper: 1,000,000 nodes)",
         cfg.scale.n_1m,
         cfg,
+        runtime=runtime,
     )
 
 
 def fig18_sample_collide_l10(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 18: Sample&Collide with l=10 — the cheap/noisy configuration.
 
@@ -217,17 +246,22 @@ def fig18_sample_collide_l10(
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
     hub = RngHub(cfg.seed).child("fig18")
-    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
+    n = cfg.scale.n_100k
     count = max(cfg.scale.static_estimations // 2, 25)
     series = static_probe_series(
-        _sc_factory(cfg, 10), graph, count, hub, label="fig18"
+        _sc_spec(cfg, 10),
+        overlay_spec(cfg, n),
+        count,
+        hub,
+        label="fig18",
+        runtime=runtime,
     )
     fig = FigureResult(
         figure_id="fig18",
         title="Sample&Collide with l=10 (paper: 100,000 nodes)",
         xlabel="Number of estimations",
         ylabel="Quality %",
-        params={"n": graph.size, "l": 10, "count": count, "scale": cfg.scale.name},
+        params={"n": n, "l": 10, "count": count, "scale": cfg.scale.name},
         notes="paper shape: noisy one-shot (rel. std ~32%) at ~1/5 the l=200 cost",
     )
     fig.add("One Shot", series.x, series.qualities())

@@ -1,0 +1,66 @@
+"""Parallel trial execution and content-addressed result caching.
+
+The paper's figures are all "run N independent estimations of algorithm X
+on overlay Y under churn Z" — embarrassingly parallel work.  This package
+turns one such experiment into a batch of picklable
+:class:`~repro.runtime.trials.TrialSpec` units, shards them across a
+process pool (:class:`~repro.runtime.pool.TrialExecutor`), and persists the
+merged results in a content-addressed on-disk store
+(:class:`~repro.runtime.store.ResultsStore`) so repeated runs are cache
+hits.
+
+Determinism contract: every trial derives its randomness from
+``(hub_seed, trial index)`` via :class:`~repro.sim.rng.RngHub` child
+streams, never from execution order or worker identity, so parallel results
+are bit-identical to serial ones.
+
+Entry points: :func:`~repro.runtime.api.run_trials` and
+:func:`~repro.runtime.api.sweep`.
+"""
+
+from .api import (
+    RuntimeOptions,
+    batch_config,
+    run_trials,
+    series_from_results,
+    supports_runtime,
+    sweep,
+)
+from .pool import TrialExecutor, chunk_specs
+from .progress import LogProgress, NullProgress, ProgressReporter, TelemetryCollector
+from .store import ResultsStore, SCHEMA_VERSION, canonical_json, content_key
+from .trials import (
+    EstimatorSpec,
+    OverlaySpec,
+    TrialResult,
+    TrialSpec,
+    run_chunk,
+    trace_from_payload,
+    trace_to_payload,
+)
+
+__all__ = [
+    "EstimatorSpec",
+    "LogProgress",
+    "NullProgress",
+    "OverlaySpec",
+    "ProgressReporter",
+    "ResultsStore",
+    "RuntimeOptions",
+    "SCHEMA_VERSION",
+    "TelemetryCollector",
+    "TrialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "batch_config",
+    "canonical_json",
+    "chunk_specs",
+    "content_key",
+    "run_chunk",
+    "run_trials",
+    "series_from_results",
+    "supports_runtime",
+    "sweep",
+    "trace_from_payload",
+    "trace_to_payload",
+]

@@ -1,0 +1,194 @@
+"""Entry points of the runtime: :func:`run_trials` and :func:`sweep`.
+
+``run_trials`` is the single funnel every experiment goes through: it
+content-addresses the batch, consults the results store, and only when the
+store misses (or ``force`` is set) dispatches the specs to the executor and
+persists what comes back.  ``sweep`` fans a spec factory out over a
+parameter grid, one cached batch per grid point.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..sim.metrics import EstimateSeries
+from .pool import TrialExecutor
+from .progress import NullProgress, ProgressReporter
+from .store import ResultsStore
+from .trials import TrialResult, TrialSpec
+
+__all__ = [
+    "RuntimeOptions",
+    "batch_config",
+    "run_trials",
+    "series_from_results",
+    "supports_runtime",
+    "sweep",
+]
+
+
+def supports_runtime(fn: Callable) -> bool:
+    """True when ``fn`` accepts a ``runtime=`` keyword.
+
+    Experiments grown before this subsystem (tables, fig7) don't take the
+    parameter; every entry point that threads :class:`RuntimeOptions` into
+    the figure registry goes through this single probe.
+    """
+    try:
+        return "runtime" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Execution knobs threaded from the CLI down to :func:`run_trials`.
+
+    ``None`` (the common default for the figure functions' ``runtime``
+    parameter) means serial, uncached execution — exactly the historical
+    behaviour.
+    """
+
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    store: Optional[ResultsStore] = None
+    force: bool = False
+    progress: Optional[ProgressReporter] = None
+
+    @classmethod
+    def create(
+        cls,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        force: bool = False,
+        progress: Optional[ProgressReporter] = None,
+        chunk_size: Optional[int] = None,
+    ) -> "RuntimeOptions":
+        """Convenience constructor mapping CLI-level values to options."""
+        store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
+        return cls(
+            workers=max(1, int(workers)),
+            chunk_size=chunk_size,
+            store=store,
+            force=force,
+            progress=progress,
+        )
+
+    def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
+        """Copy with a different progress reporter."""
+        return replace(self, progress=progress)
+
+
+def batch_config(specs: Sequence[TrialSpec]) -> Dict[str, Any]:
+    """Canonical configuration of a whole batch (the store's hash input).
+
+    Per-trial fields that are shared across the batch compress to the
+    first spec's values plus the index/stream lists, keeping the hashed
+    document small at thousands of trials.
+    """
+    if not specs:
+        raise ValueError("cannot describe an empty batch")
+    first = specs[0].as_config()
+    shared = {k: v for k, v in first.items() if k not in ("index", "stream")}
+    for spec in specs[1:]:
+        cfg = spec.as_config()
+        for key, value in shared.items():
+            if cfg[key] != value:
+                raise ValueError(
+                    f"batch is not homogeneous: trial {spec.index} differs in {key!r}"
+                )
+    # The exact (index, stream) pairs — not separate index/stream pools —
+    # so batches that pair them differently hash to different keys.
+    shared["trials"] = [[int(s.index), int(s.stream)] for s in specs]
+    return shared
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    *,
+    runtime: Optional[RuntimeOptions] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    store: Optional[ResultsStore] = None,
+    force: Optional[bool] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> List[TrialResult]:
+    """Run a batch of trials with caching and parallel dispatch.
+
+    Keyword arguments override the corresponding ``runtime`` fields, so
+    callers can pass a shared :class:`RuntimeOptions` and still specialize
+    one knob locally.
+    """
+    runtime = runtime or RuntimeOptions()
+    workers = runtime.workers if workers is None else workers
+    chunk_size = runtime.chunk_size if chunk_size is None else chunk_size
+    store = runtime.store if store is None else store
+    force = runtime.force if force is None else force
+    progress = progress or runtime.progress or NullProgress()
+
+    specs = list(specs)
+    if not specs:
+        return []
+
+    portable = all(spec.portable for spec in specs)
+    config = batch_config(specs) if portable else None
+    if store is not None and config is not None and not force:
+        cached = store.load(config)
+        if cached is not None:
+            progress.on_cache_hit(len(cached))
+            return cached
+
+    executor = TrialExecutor(
+        workers=workers, chunk_size=chunk_size, progress=progress
+    )
+    results = executor.run(specs)
+    if store is not None and config is not None:
+        store.save(config, results, meta={"trials": len(specs)})
+    return results
+
+
+def sweep(
+    spec_factory: Callable[[Any], Sequence[TrialSpec]],
+    values: Iterable[Any],
+    *,
+    runtime: Optional[RuntimeOptions] = None,
+    **overrides: Any,
+) -> Dict[Any, List[TrialResult]]:
+    """Run one cached batch per grid point of a parameter sweep.
+
+    ``spec_factory(value)`` must return the spec batch for that point;
+    each point is content-addressed independently, so re-running a sweep
+    after adding grid values only computes the new points.
+    """
+    out: Dict[Any, List[TrialResult]] = {}
+    for value in values:
+        out[value] = run_trials(
+            list(spec_factory(value)), runtime=runtime, **overrides
+        )
+    return out
+
+
+def series_from_results(
+    results: Sequence[TrialResult],
+    name: str = "",
+    stream: Optional[int] = None,
+) -> EstimateSeries:
+    """Merge trial results into an :class:`EstimateSeries`.
+
+    Results arrive pre-sorted by ``(index, stream)``; pass ``stream`` to
+    select one stream of a multi-stream batch.  Results flagged not-ok
+    (e.g. the overlay emptied before the trial's slot) are skipped, mirroring
+    the serial loops which stopped appending at that point.
+    """
+    series = EstimateSeries(name=name)
+    for result in results:
+        if stream is not None and result.stream != stream:
+            continue
+        if not result.ok or result.true_size <= 0:
+            continue
+        series.append(result.index, result.value, result.true_size)
+    return series

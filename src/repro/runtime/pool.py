@@ -1,0 +1,123 @@
+"""Trial executor: serial loop or chunked dispatch over a process pool.
+
+Chunking serves two purposes: it amortizes the per-chunk warm-up (overlay
+construction, churn replay) over many trials, and it keeps the number of
+pickled task submissions small.  Results are merged in ``(index, stream)``
+order, so the caller sees the exact sequence a serial run would have
+produced regardless of which worker finished first.
+
+Fallbacks are graceful and explicit: ``workers <= 1`` never spawns a
+process; batches holding live objects (graphs, closures) are not picklable
+and run serially in one chunk; and any pool-level failure to *dispatch*
+(pickling error, missing multiprocessing support) downgrades to the serial
+path after reporting via the progress callback.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List, Optional, Sequence
+
+from .progress import NullProgress, ProgressReporter
+from .trials import TrialResult, TrialSpec, run_chunk
+
+__all__ = ["TrialExecutor", "chunk_specs"]
+
+#: Target chunks per worker: enough slack for load balancing (chunks are
+#: not equal cost) without drowning in warm-up overhead.
+CHUNKS_PER_WORKER = 4
+
+
+def chunk_specs(
+    specs: Sequence[TrialSpec], chunk_size: int
+) -> List[List[TrialSpec]]:
+    """Split ``specs`` into consecutive chunks of at most ``chunk_size``.
+
+    Order is preserved: churn-replay kinds rely on a chunk holding a
+    contiguous index range so one replay serves all of its trials.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        list(specs[start : start + chunk_size])
+        for start in range(0, len(specs), chunk_size)
+    ]
+
+
+class TrialExecutor:
+    """Runs a batch of :class:`TrialSpec` serially or over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``<= 1`` selects the in-process serial path.
+    chunk_size:
+        Trials per dispatched chunk (default: batch split into
+        ``workers * CHUNKS_PER_WORKER`` chunks).
+    progress:
+        Optional :class:`ProgressReporter` for telemetry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = max(1, int(workers))
+        self.chunk_size = chunk_size
+        self.progress = progress if progress is not None else NullProgress()
+
+    def _auto_chunk_size(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(total / (self.workers * CHUNKS_PER_WORKER)))
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+        """Execute the batch and return results in ``(index, stream)`` order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        portable = all(spec.portable for spec in specs)
+        workers = self.workers if portable else 1
+        if not portable and self.workers > 1:
+            self.progress.on_fallback(
+                "batch holds live objects that cannot be shipped to workers"
+            )
+        started = time.perf_counter()
+        self.progress.on_start(len(specs), workers)
+
+        if workers <= 1 or len(specs) == 1:
+            results = run_chunk(specs)
+        else:
+            results = self._run_parallel(specs, workers)
+
+        results.sort(key=lambda r: (r.index, r.stream))
+        self.progress.on_finish(len(results), time.perf_counter() - started)
+        return results
+
+    def _run_parallel(
+        self, specs: List[TrialSpec], workers: int
+    ) -> List[TrialResult]:
+        chunks = chunk_specs(specs, self._auto_chunk_size(len(specs)))
+        if len(chunks) == 1:
+            return run_chunk(specs)
+        try:
+            results: List[TrialResult] = []
+            done = 0
+            with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+                futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+                for future in as_completed(futures):
+                    part = future.result()
+                    results.extend(part)
+                    done += len(part)
+                    self.progress.on_progress(done, len(specs))
+            return results
+        except (pickle.PicklingError, ImportError, OSError) as exc:
+            self.progress.on_fallback(f"process pool unavailable ({exc})")
+            return run_chunk(specs)

@@ -1,0 +1,103 @@
+"""Lightweight progress/telemetry callbacks for trial execution.
+
+The executor reports through a :class:`ProgressReporter`; the default
+:class:`NullProgress` costs nothing, :class:`LogProgress` writes one-line
+updates to a stream (stderr by default, so CSV/chart output on stdout
+stays clean), and :class:`TelemetryCollector` records every event for
+tests and tooling.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = [
+    "LogProgress",
+    "NullProgress",
+    "ProgressReporter",
+    "TelemetryCollector",
+]
+
+
+class ProgressReporter:
+    """Callback interface invoked by the executor and the trials API."""
+
+    def on_start(self, total: int, workers: int) -> None:
+        """A batch of ``total`` trials is about to run on ``workers`` workers."""
+
+    def on_progress(self, done: int, total: int) -> None:
+        """``done`` of ``total`` trials have completed."""
+
+    def on_cache_hit(self, total: int) -> None:
+        """The whole batch was served from the results store."""
+
+    def on_fallback(self, reason: str) -> None:
+        """Parallel execution was abandoned in favour of the serial path."""
+
+    def on_finish(self, done: int, elapsed: float) -> None:
+        """The batch finished (``elapsed`` wall-clock seconds)."""
+
+
+class NullProgress(ProgressReporter):
+    """The do-nothing default."""
+
+
+class LogProgress(ProgressReporter):
+    """Human-readable one-line progress on a text stream."""
+
+    def __init__(self, label: str = "trials", stream: Optional[TextIO] = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = 0.0
+
+    def _emit(self, message: str) -> None:
+        self.stream.write(f"[{self.label}] {message}\n")
+        self.stream.flush()
+
+    def on_start(self, total: int, workers: int) -> None:
+        self._started = time.perf_counter()
+        mode = f"{workers} workers" if workers > 1 else "serial"
+        self._emit(f"running {total} trials ({mode})")
+
+    def on_progress(self, done: int, total: int) -> None:
+        self._emit(f"{done}/{total} trials done")
+
+    def on_cache_hit(self, total: int) -> None:
+        self._emit(f"cache hit: {total} trials loaded from store")
+
+    def on_fallback(self, reason: str) -> None:
+        self._emit(f"falling back to serial execution: {reason}")
+
+    def on_finish(self, done: int, elapsed: float) -> None:
+        self._emit(f"finished {done} trials in {elapsed:.1f}s")
+
+
+class TelemetryCollector(ProgressReporter):
+    """Records every callback as an event dict — for tests and tooling."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def _record(self, kind: str, **data: Any) -> None:
+        self.events.append({"event": kind, **data})
+
+    def on_start(self, total: int, workers: int) -> None:
+        self._record("start", total=total, workers=workers)
+
+    def on_progress(self, done: int, total: int) -> None:
+        self._record("progress", done=done, total=total)
+
+    def on_cache_hit(self, total: int) -> None:
+        self._record("cache_hit", total=total)
+
+    def on_fallback(self, reason: str) -> None:
+        self._record("fallback", reason=reason)
+
+    def on_finish(self, done: int, elapsed: float) -> None:
+        self._record("finish", done=done, elapsed=elapsed)
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of ``kind``."""
+        return sum(1 for ev in self.events if ev["event"] == kind)

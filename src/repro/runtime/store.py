@@ -1,0 +1,189 @@
+"""Content-addressed on-disk results store.
+
+An experiment's full configuration (trial kind, seeds, overlay/estimator
+specs, churn payloads, …) is canonicalized to JSON and hashed with
+SHA-256; the digest addresses a JSON artifact under the store root.  Equal
+configurations therefore always map to the same artifact, regardless of
+where or when they ran — a second invocation of the same experiment is a
+cache hit.
+
+Artifacts embed a schema version; bumping :data:`SCHEMA_VERSION`
+invalidates every previously written artifact at once (old files are
+simply misses, and ``clear()`` reclaims the space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .trials import TrialResult
+
+__all__ = ["SCHEMA_VERSION", "ResultsStore", "canonical_json", "content_key"]
+
+#: Bump when the artifact layout or the meaning of a config changes.
+SCHEMA_VERSION = 1
+
+
+def _normalize(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON types with deterministic structure."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, float)):
+        # bools already handled; numpy scalars coerce via float()/int()
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v) for v in obj]
+    if isinstance(obj, Mapping):
+        return {str(k): _normalize(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return obj.item()
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for content addressing")
+
+
+def _encode_floats(obj: Any) -> Any:
+    """Replace non-finite floats with tagged strings so artifacts stay
+    RFC-8259-valid JSON (``json.dump`` would otherwise emit bare ``NaN``
+    literals that non-Python consumers reject)."""
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return "NaN" if math.isnan(obj) else ("Infinity" if obj > 0 else "-Infinity")
+    if isinstance(obj, list):
+        return [_encode_floats(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _encode_floats(v) for k, v in obj.items()}
+    return obj
+
+
+def _decode_floats(obj: Any) -> Any:
+    """Inverse of :func:`_encode_floats` (applied to loaded results)."""
+    if obj in ("NaN", "Infinity", "-Infinity"):
+        return float(obj)
+    if isinstance(obj, list):
+        return [_decode_floats(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _decode_floats(v) for k, v in obj.items()}
+    return obj
+
+
+def canonical_json(config: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, minimal separators."""
+    return json.dumps(
+        _normalize(config), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_key(config: Any) -> str:
+    """SHA-256 content address of a configuration (schema-versioned)."""
+    payload = canonical_json({"schema": SCHEMA_VERSION, "config": config})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultsStore:
+    """Directory-backed store mapping experiment configs to trial results.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+    directories small at tens of thousands of artifacts).  Writes are
+    atomic (tempfile + ``os.replace``) so a crashed run never leaves a
+    torn artifact behind.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+
+    # -- addressing ----------------------------------------------------
+
+    def key_for(self, config: Any) -> str:
+        """Content address of ``config``."""
+        return content_key(config)
+
+    def path_for(self, config: Any) -> pathlib.Path:
+        """On-disk location the artifact for ``config`` lives at."""
+        key = self.key_for(config)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- IO ------------------------------------------------------------
+
+    def save(
+        self,
+        config: Any,
+        results: List[TrialResult],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Persist ``results`` under the content address of ``config``."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {
+            "schema": SCHEMA_VERSION,
+            "config": _normalize(config),
+            "meta": meta or {},
+            "results": _encode_floats([r.as_dict() for r in results]),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(artifact, fh, allow_nan=False)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, config: Any) -> Optional[List[TrialResult]]:
+        """Results previously saved for ``config``, or ``None`` on a miss.
+
+        Unreadable or schema-mismatched artifacts are misses, never
+        errors: the store must always be safe to point at a stale cache
+        directory.
+        """
+        path = self.path_for(config)
+        try:
+            with path.open() as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if artifact.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return [
+                TrialResult.from_dict(item)
+                for item in _decode_floats(artifact["results"])
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def contains(self, config: Any) -> bool:
+        """True when an artifact for ``config`` exists on disk."""
+        return self.path_for(config).exists()
+
+    def invalidate(self, config: Any) -> bool:
+        """Delete the artifact for ``config``; returns True if one existed."""
+        path = self.path_for(config)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every artifact under the root; returns the count removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultsStore(root={str(self.root)!r}, artifacts={len(self)})"

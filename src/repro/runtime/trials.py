@@ -1,0 +1,606 @@
+"""Trial model: picklable (config, seed, index) units and their runners.
+
+A :class:`TrialSpec` captures one independent estimation of one experiment
+as pure data: which trial *kind* to run, the master seed of the
+experiment's :class:`~repro.sim.rng.RngHub`, the trial index, and declarative
+specs for the overlay and estimator.  Because every trial derives its
+randomness from ``(hub_seed, index)`` alone — via the hub's stateless
+``child``/``stream`` derivation — a batch of specs can be executed in any
+order, in any process, and the merged results are bit-identical to a serial
+run.
+
+Chunks of specs that share a context (same overlay, same churn trace) are
+executed together by a *chunk runner* so the worker warms up once per
+chunk: the overlay is built a single time, and for churn-driven kinds the
+trace is replayed from the start (churn draws from its own named stream, so
+replaying membership events without estimating reproduces the serial graph
+state exactly).
+
+For backwards compatibility the ``overlay``/``estimator`` slots also accept
+live objects (an :class:`~repro.overlay.graph.OverlayGraph`, a factory
+closure).  Such specs are *not portable*: they cannot be pickled to workers
+or hashed into a store key, so the executor runs them serially in-process
+as one chunk — the graceful-fallback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..churn.models import ChurnEvent, ChurnTrace
+from ..churn.scheduler import ChurnScheduler
+from ..core.aggregation import AggregationMonitor, AggregationProtocol
+from ..core.base import EstimatorError
+from ..core.hops_sampling import HopsSamplingEstimator
+from ..core.sample_collide import SampleCollideEstimator
+from ..overlay.builders import heterogeneous_random, scale_free
+from ..overlay.graph import OverlayGraph
+from ..sim.rng import RngHub, derive_seed
+from ..sim.rounds import RoundDriver
+
+__all__ = [
+    "EstimatorSpec",
+    "OverlaySpec",
+    "TrialResult",
+    "TrialSpec",
+    "ESTIMATOR_BUILDERS",
+    "OVERLAY_BUILDERS",
+    "TRIAL_KINDS",
+    "run_chunk",
+    "trace_from_payload",
+    "trace_to_payload",
+]
+
+
+# ----------------------------------------------------------------------
+# Churn-trace payloads (JSON-able mirror of ChurnTrace)
+# ----------------------------------------------------------------------
+
+
+def trace_to_payload(trace: ChurnTrace) -> List[Dict[str, float]]:
+    """Flatten a trace into a list of plain event dicts (JSON/pickle safe).
+
+    Only non-default fields are emitted so payloads hash stably.
+    """
+    payload: List[Dict[str, float]] = []
+    for ev in trace:
+        item: Dict[str, float] = {"time": float(ev.time)}
+        if ev.joins:
+            item["joins"] = int(ev.joins)
+        if ev.leaves:
+            item["leaves"] = int(ev.leaves)
+        if ev.frac_joins:
+            item["frac_joins"] = float(ev.frac_joins)
+        if ev.frac_leaves:
+            item["frac_leaves"] = float(ev.frac_leaves)
+        payload.append(item)
+    return payload
+
+
+def trace_from_payload(payload: Sequence[Mapping[str, float]]) -> ChurnTrace:
+    """Rebuild a fresh (unconsumed) :class:`ChurnTrace` from a payload."""
+    return ChurnTrace(ChurnEvent(**item) for item in payload)
+
+
+def _as_trace(value: Union[ChurnTrace, Sequence[Mapping[str, float]]]) -> ChurnTrace:
+    if isinstance(value, ChurnTrace):
+        return value
+    return trace_from_payload(value)
+
+
+# ----------------------------------------------------------------------
+# Declarative overlay / estimator specs
+# ----------------------------------------------------------------------
+
+#: builder name -> callable(hub, **params) -> OverlayGraph.  Stream names
+#: match the historical runner code so spec-built overlays are identical to
+#: the ones the figure functions used to build inline.
+OVERLAY_BUILDERS: Dict[str, Callable[..., OverlayGraph]] = {
+    "heterogeneous": lambda hub, n, max_degree=10, min_degree=1: heterogeneous_random(
+        n, max_degree=max_degree, min_degree=min_degree, rng=hub.stream("overlay")
+    ),
+    "scale_free": lambda hub, n, m=3: scale_free(n, m=m, rng=hub.stream("overlay.sf")),
+}
+
+
+@dataclass(frozen=True)
+class OverlaySpec:
+    """Declarative, picklable description of an overlay build."""
+
+    builder: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.builder not in OVERLAY_BUILDERS:
+            raise ValueError(
+                f"unknown overlay builder {self.builder!r}; "
+                f"have {sorted(OVERLAY_BUILDERS)}"
+            )
+
+    def build(self, hub: RngHub) -> OverlayGraph:
+        """Deterministically materialize the overlay from ``hub``."""
+        return OVERLAY_BUILDERS[self.builder](hub, **self.params)
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form for content addressing."""
+        return {"builder": self.builder, "params": dict(self.params)}
+
+    @classmethod
+    def heterogeneous(
+        cls, n: int, max_degree: int = 10, min_degree: int = 1
+    ) -> "OverlaySpec":
+        """The paper's standard heterogeneous random overlay."""
+        return cls(
+            "heterogeneous",
+            {"n": int(n), "max_degree": int(max_degree), "min_degree": int(min_degree)},
+        )
+
+    @classmethod
+    def scale_free(cls, n: int, m: int = 3) -> "OverlaySpec":
+        """The Fig 7/8 Barabási–Albert overlay."""
+        return cls("scale_free", {"n": int(n), "m": int(m)})
+
+
+#: estimator kind -> callable(graph, hub, **params).  Stream names ("sc",
+#: "hops") match the factories previously defined inline in the figure
+#: modules, preserving RNG lineage.
+ESTIMATOR_BUILDERS: Dict[str, Callable[..., Any]] = {
+    "sample_collide": lambda graph, hub, l=200, timer=10.0: SampleCollideEstimator(
+        graph, l=l, timer=timer, rng=hub.stream("sc")
+    ),
+    "hops_sampling": lambda graph, hub, gossip_to=2, min_hops_reporting=5: (
+        HopsSamplingEstimator(
+            graph,
+            gossip_to=gossip_to,
+            min_hops_reporting=min_hops_reporting,
+            rng=hub.stream("hops"),
+        )
+    ),
+}
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Declarative, picklable description of an estimator instantiation."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ESTIMATOR_BUILDERS:
+            raise ValueError(
+                f"unknown estimator {self.kind!r}; have {sorted(ESTIMATOR_BUILDERS)}"
+            )
+
+    def build(self, graph: OverlayGraph, hub: RngHub):
+        """Instantiate the estimator on ``graph`` drawing RNG from ``hub``."""
+        return ESTIMATOR_BUILDERS[self.kind](graph, hub, **self.params)
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form for content addressing."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def sample_collide(cls, l: int = 200, timer: float = 10.0) -> "EstimatorSpec":
+        return cls("sample_collide", {"l": int(l), "timer": float(timer)})
+
+    @classmethod
+    def hops_sampling(
+        cls, gossip_to: int = 2, min_hops_reporting: int = 5
+    ) -> "EstimatorSpec":
+        return cls(
+            "hops_sampling",
+            {
+                "gossip_to": int(gossip_to),
+                "min_hops_reporting": int(min_hops_reporting),
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# TrialSpec / TrialResult
+# ----------------------------------------------------------------------
+
+OverlayLike = Union[OverlaySpec, OverlayGraph, None]
+EstimatorLike = Union[EstimatorSpec, Callable, None]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent trial as a (config, seed, index) unit.
+
+    Parameters
+    ----------
+    kind:
+        Key into :data:`TRIAL_KINDS` selecting the chunk runner.
+    hub_seed:
+        Master seed of the experiment's :class:`RngHub`; every random draw
+        of the trial derives from it and ``index`` alone.
+    index:
+        Trial number within the experiment (1-based estimation number for
+        probe kinds, 0-based run number for aggregation kinds — whatever
+        the serial code historically used, so RNG lineage is preserved).
+    overlay / estimator:
+        Declarative specs (portable) or live objects (in-process only).
+    params:
+        Kind-specific extras (churn-trace payload, horizon, rounds, …).
+    stream:
+        Sub-stream id for kinds that run several estimation streams over
+        one churning overlay (Figs 9-14).
+    overlay_seed:
+        Hub seed the overlay is built from when it differs from
+        ``hub_seed`` (Fig 8 builds the overlay from the figure hub but runs
+        each series under a child hub).
+    """
+
+    kind: str
+    hub_seed: int
+    index: int
+    overlay: OverlayLike = None
+    estimator: EstimatorLike = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    stream: int = 0
+    overlay_seed: Optional[int] = None
+
+    @property
+    def portable(self) -> bool:
+        """True when the spec can be pickled to a worker and content-hashed."""
+        if self.overlay is not None and not isinstance(self.overlay, OverlaySpec):
+            return False
+        if self.estimator is not None and not isinstance(
+            self.estimator, EstimatorSpec
+        ):
+            return False
+        return _jsonable(self.params)
+
+    def as_config(self) -> Dict[str, Any]:
+        """Canonical per-trial configuration (raises on live objects)."""
+        if not self.portable:
+            raise TypeError(
+                "spec holds live objects (graph/closure/trace) and cannot "
+                "be content-addressed; use OverlaySpec/EstimatorSpec and "
+                "JSON-able params"
+            )
+        return {
+            "kind": self.kind,
+            "hub_seed": int(self.hub_seed),
+            "index": int(self.index),
+            "stream": int(self.stream),
+            "overlay": self.overlay.as_config() if self.overlay else None,
+            "overlay_seed": self.overlay_seed,
+            "estimator": self.estimator.as_config() if self.estimator else None,
+            "params": dict(self.params),
+        }
+
+
+def _jsonable(value: Any) -> bool:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _jsonable(v) for k, v in value.items())
+    return False
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial.
+
+    ``value``/``true_size`` cover the scalar probe kinds; kinds that
+    produce whole curves (aggregation) carry them in ``extra``.
+    """
+
+    index: int
+    value: float
+    true_size: float
+    stream: int = 0
+    ok: bool = True
+    extra: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form for the results store."""
+        out: Dict[str, Any] = {
+            "index": int(self.index),
+            "value": float(self.value),
+            "true_size": float(self.true_size),
+        }
+        if self.stream:
+            out["stream"] = int(self.stream)
+        if not self.ok:
+            out["ok"] = False
+        if self.extra is not None:
+            out["extra"] = self.extra
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        return cls(
+            index=int(data["index"]),
+            value=float(data["value"]),
+            true_size=float(data["true_size"]),
+            stream=int(data.get("stream", 0)),
+            ok=bool(data.get("ok", True)),
+            extra=data.get("extra"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Chunk runners
+# ----------------------------------------------------------------------
+
+
+#: Kinds whose chunk runner mutates the overlay (churn): they must build a
+#: fresh graph per chunk and must never share a memoized instance.
+_MUTATING_KINDS = frozenset({"dynamic_probe", "multi_probe", "agg_dynamic"})
+
+#: Per-process memo of the last few spec-built overlays.  Static kinds only
+#: read the graph, and spec builds are deterministic, so sharing one
+#: instance across chunks/batches (e.g. Fig 8's three series over one
+#: scale-free overlay) changes nothing but the build count.
+_GRAPH_CACHE: Dict[str, OverlayGraph] = {}
+_GRAPH_CACHE_LIMIT = 4
+
+
+def _chunk_graph(spec: TrialSpec) -> OverlayGraph:
+    """The chunk's overlay: built from the spec, or the live graph as-is."""
+    if isinstance(spec.overlay, OverlaySpec):
+        seed = spec.hub_seed if spec.overlay_seed is None else spec.overlay_seed
+        if spec.kind in _MUTATING_KINDS:
+            return spec.overlay.build(RngHub(seed))
+        key = f"{seed}:{sorted(spec.overlay.as_config()['params'].items())}:{spec.overlay.builder}"
+        graph = _GRAPH_CACHE.get(key)
+        if graph is None:
+            graph = spec.overlay.build(RngHub(seed))
+            while len(_GRAPH_CACHE) >= _GRAPH_CACHE_LIMIT:
+                _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+            _GRAPH_CACHE[key] = graph
+        return graph
+    if isinstance(spec.overlay, OverlayGraph):
+        return spec.overlay
+    raise TypeError(f"trial kind {spec.kind!r} needs an overlay, got {spec.overlay!r}")
+
+
+def _make_estimator(spec: TrialSpec, graph: OverlayGraph, hub: RngHub):
+    if isinstance(spec.estimator, EstimatorSpec):
+        return spec.estimator.build(graph, hub)
+    if callable(spec.estimator):
+        return spec.estimator(graph, hub)
+    raise TypeError(f"trial kind {spec.kind!r} needs an estimator")
+
+
+def _run_static_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Independent one-shot estimations on a static overlay (Figs 1-4, 8, 18)."""
+    first = specs[0]
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    out: List[TrialResult] = []
+    for spec in specs:
+        est = _make_estimator(spec, graph, hub.child(f"run{spec.index}"))
+        out.append(
+            TrialResult(
+                index=spec.index,
+                value=float(est.estimate().value),
+                true_size=float(graph.size),
+                stream=spec.stream,
+            )
+        )
+    return out
+
+
+def _replay_probe(
+    specs: Sequence[TrialSpec],
+    estimate_at: Callable[[int, OverlayGraph, RngHub], List[TrialResult]],
+) -> List[TrialResult]:
+    """Shared churn-replay skeleton for the probe-under-churn kinds.
+
+    Advances the churn schedule step by step exactly as the serial loop
+    did; ``estimate_at`` is invoked for each step so the kind decides which
+    trials (if any) run there.  Replay is exact because churn consumes only
+    the hub's ``"churn"`` stream while estimations draw from per-index
+    child hubs.
+    """
+    first = specs[0]
+    p = first.params
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    scheduler = ChurnScheduler(
+        graph,
+        _as_trace(p["trace"]),
+        rng=hub.stream("churn"),
+        max_degree=int(p.get("max_degree", 10)),
+    )
+    tpe = float(p.get("time_per_estimation", 1.0))
+    last = max(spec.index for spec in specs)
+    out: List[TrialResult] = []
+    for i in range(1, last + 1):
+        scheduler.advance_to(i * tpe)
+        if graph.size == 0:
+            break
+        out.extend(estimate_at(i, graph, hub))
+    return out
+
+
+def _run_dynamic_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Probe-style estimations interleaved with churn (single stream)."""
+    wanted = {spec.index: spec for spec in specs}
+
+    def estimate_at(i: int, graph: OverlayGraph, hub: RngHub) -> List[TrialResult]:
+        spec = wanted.get(i)
+        if spec is None:
+            return []
+        try:
+            value = float(
+                _make_estimator(spec, graph, hub.child(f"run{i}")).estimate().value
+            )
+        except EstimatorError:
+            value = float("nan")
+        return [TrialResult(index=i, value=value, true_size=float(graph.size))]
+
+    return _replay_probe(specs, estimate_at)
+
+
+def _run_multi_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Several estimation streams over one churning overlay (Figs 9-14)."""
+    by_index: Dict[int, List[TrialSpec]] = {}
+    for spec in specs:
+        by_index.setdefault(spec.index, []).append(spec)
+
+    def estimate_at(i: int, graph: OverlayGraph, hub: RngHub) -> List[TrialResult]:
+        out = []
+        for spec in sorted(by_index.get(i, ()), key=lambda s: s.stream):
+            try:
+                est = _make_estimator(spec, graph, hub.child(f"s{spec.stream}r{i}"))
+                value = float(est.estimate().value)
+            except EstimatorError:
+                value = float("nan")
+            out.append(
+                TrialResult(
+                    index=i,
+                    value=value,
+                    true_size=float(graph.size),
+                    stream=spec.stream,
+                )
+            )
+        return out
+
+    return _replay_probe(specs, estimate_at)
+
+
+def _run_agg_convergence(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Per-round convergence curves, one epoch per trial (Figs 5-6)."""
+    first = specs[0]
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    n = graph.size
+    out: List[TrialResult] = []
+    for spec in specs:
+        rounds = int(spec.params["rounds"])
+        proto = AggregationProtocol(
+            graph, rng=hub.child(f"agg{spec.index}").stream("proto")
+        )
+        proto.start_epoch()
+        qs: List[float] = []
+        for _ in range(rounds):
+            proto.run_round()
+            try:
+                qs.append(float(proto.read().quality(n)))
+            except EstimatorError:  # pragma: no cover - initiator always has value
+                qs.append(0.0)
+        out.append(
+            TrialResult(
+                index=spec.index,
+                value=qs[-1] if qs else float("nan"),
+                true_size=float(n),
+                extra={"quality": qs},
+            )
+        )
+    return out
+
+
+def _run_agg_epoch(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Fresh fixed-length epoch per trial on a static overlay (Fig 8).
+
+    The i-th trial's RNG reproduces the i-th ``hub.fresh("proto")`` draw of
+    the historical serial loop.
+    """
+    first = specs[0]
+    graph = _chunk_graph(first)
+    n = graph.size
+    out: List[TrialResult] = []
+    for spec in specs:
+        rng = np.random.default_rng(
+            derive_seed(spec.hub_seed, f"proto#{spec.index - 1}")
+        )
+        proto = AggregationProtocol(graph, rng=rng)
+        est = proto.estimate(rounds=int(spec.params.get("rounds", 50)))
+        out.append(
+            TrialResult(index=spec.index, value=float(est.value), true_size=float(n))
+        )
+    return out
+
+
+def _run_agg_dynamic(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Continuous Aggregation monitoring under churn, one run per trial
+    (Figs 15-17).  Each run builds its own overlay from its run hub."""
+    first = specs[0]
+    hub = RngHub(first.hub_seed)
+    out: List[TrialResult] = []
+    for spec in specs:
+        p = spec.params
+        run_hub = hub.child(f"aggdyn{spec.index}")
+        if not isinstance(spec.overlay, OverlaySpec):
+            raise TypeError("agg_dynamic trials require an OverlaySpec")
+        graph = spec.overlay.build(run_hub)
+        driver = RoundDriver()
+        scheduler = ChurnScheduler(
+            graph,
+            _as_trace(p["trace"]),
+            rng=run_hub.stream("churn"),
+            max_degree=int(p.get("max_degree", 10)),
+        )
+        scheduler.attach(driver)
+        monitor = AggregationMonitor(
+            graph,
+            restart_interval=int(p["restart_interval"]),
+            rng=run_hub.stream("monitor"),
+        )
+        monitor.attach(driver)
+        sizes: List[int] = []
+        driver.subscribe(lambda rnd, g=graph, s=sizes: s.append(g.size), priority=30)
+        driver.run(int(p["horizon"]))
+
+        xs: List[float] = []
+        ests: List[float] = []
+        trues: List[float] = []
+        for rnd, (est, size) in enumerate(zip(monitor.series, sizes), start=1):
+            if size > 0:
+                xs.append(float(rnd))
+                ests.append(float(est))
+                trues.append(float(size))
+        out.append(
+            TrialResult(
+                index=spec.index,
+                value=ests[-1] if ests else float("nan"),
+                true_size=trues[-1] if trues else 0.0,
+                ok=bool(ests),
+                extra={
+                    "x": xs,
+                    "estimates": ests,
+                    "true": trues,
+                    "failures": int(monitor.failures),
+                },
+            )
+        )
+    return out
+
+
+#: trial kind -> chunk runner.  Extend to open new workloads.
+TRIAL_KINDS: Dict[str, Callable[[Sequence[TrialSpec]], List[TrialResult]]] = {
+    "static_probe": _run_static_probe,
+    "dynamic_probe": _run_dynamic_probe,
+    "multi_probe": _run_multi_probe,
+    "agg_convergence": _run_agg_convergence,
+    "agg_epoch": _run_agg_epoch,
+    "agg_dynamic": _run_agg_dynamic,
+}
+
+
+def run_chunk(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Execute one chunk of same-kind specs; the process-pool entry point."""
+    if not specs:
+        return []
+    kinds = {spec.kind for spec in specs}
+    if len(kinds) != 1:
+        raise ValueError(f"chunk mixes trial kinds: {sorted(kinds)}")
+    kind = specs[0].kind
+    try:
+        runner = TRIAL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trial kind {kind!r}; have {sorted(TRIAL_KINDS)}"
+        ) from None
+    return runner(specs)
