@@ -11,7 +11,9 @@ store at a directory: reruns of unchanged figures then skip recomputation
 entirely (the timing reflects the cache hit — useful when iterating on one
 benchmark while the rest of the suite stays warm).  ``REPRO_WORKERS``
 shards each figure's trials over worker processes; results are
-bit-identical either way.
+bit-identical either way.  The ablation tables participate too (each grid
+point is one cached batch); inspect or prune what the runs wrote with
+``repro-experiment cache ls|stats|gc``.
 """
 
 from __future__ import annotations
@@ -36,8 +38,9 @@ WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
 def _experiment_kwargs(fn: Callable) -> dict:
     kwargs = {"scale": SCALE, "seed": SEED}
     if (CACHE_DIR or WORKERS > 1) and supports_runtime(fn):
+        # the tag labels store artifacts for `repro-experiment cache ls`
         kwargs["runtime"] = RuntimeOptions.create(
-            workers=WORKERS, cache_dir=CACHE_DIR
+            workers=WORKERS, cache_dir=CACHE_DIR, tag=fn.__name__
         )
     return kwargs
 

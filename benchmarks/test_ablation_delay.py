@@ -4,6 +4,11 @@ The paper's §V conjecture / future work, made measurable: "HopsSampling
 probably outperforms the other algorithms in terms of delay ... very
 likely to be much shorter than the 50 rounds of Aggregation or the wait
 for 200 equivalent samples of Sample&Collide".
+
+This study is intentionally serial (no `runtime=` parameter): it is
+not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
+effect here — `run_experiment` probes `supports_runtime()` and simply
+omits the runtime knobs.
 """
 
 from _common import run_experiment

@@ -3,6 +3,11 @@
 Paper: "we verified our intuition by giving the accurate distance from the
 initiator to all nodes in the overlay, and the resulting size estimation
 was correct" — the under-estimation is entirely a spread-phase artifact.
+
+Runs through `repro.runtime`: each grid point is a cached, picklable
+trial batch, so `REPRO_WORKERS` shards the repetitions across worker
+processes and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment

@@ -4,6 +4,11 @@ Quantifies §I's scoping argument: id-density methods "provide good
 approximation of the system size" (cheaply!) but are "strictly limited to
 those identifier-based overlay networks" — a skewed id assignment breaks
 them outright, while Sample&Collide is assumption-free.
+
+This study is intentionally serial (no `runtime=` parameter): it is
+not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
+effect here — `run_experiment` probes `supports_runtime()` and simply
+omits the runtime knobs.
 """
 
 from _common import run_experiment

@@ -2,6 +2,11 @@
 
 Paper: "using a lower minHopsReporting parameter does not significantly
 reduce the overhead, while degrading accuracy".
+
+Runs through `repro.runtime`: each grid point is a cached, picklable
+trial batch, so `REPRO_WORKERS` shards the repetitions across worker
+processes and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment

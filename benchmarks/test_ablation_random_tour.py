@@ -6,6 +6,11 @@ estimate, so the gap favours S&C at paper scale (at benchmark scale the
 constant factors still favour Random Tour's single walk; what must hold is
 the accuracy-per-message story: S&C achieves far lower error at comparable
 per-message efficiency).
+
+Runs through `repro.runtime`: each grid point is a cached, picklable
+trial batch, so `REPRO_WORKERS` shards the repetitions across worker
+processes and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment, scale_n_100k

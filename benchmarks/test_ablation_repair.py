@@ -4,6 +4,11 @@ Extension of the paper's §IV-D analysis: the breakdown under −50%
 shrinkage is attributed to connectivity loss in the *unrepaired* overlay.
 Re-running the scenario under maintenance policies separates the cause
 (repair suppresses the breakdown) and prices the cure (CONTROL messages).
+
+This study is intentionally serial (no `runtime=` parameter): it is
+not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
+effect here — `run_experiment` probes `supports_runtime()` and simply
+omits the runtime knobs.
 """
 
 from _common import run_experiment

@@ -2,6 +2,11 @@
 
 Paper: cost(l=100) ≈ 3.27 × cost(l=10); cost(l=200) ≈ 1.40 × cost(l=100);
 accuracy improves as 1/sqrt(l).
+
+Runs through `repro.runtime`: each grid point is a cached, picklable
+trial batch, so `REPRO_WORKERS` shards the repetitions across worker
+processes and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment

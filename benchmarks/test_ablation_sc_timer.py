@@ -5,6 +5,11 @@ Paper: T=10 is "sufficient for an accurate sampling", with the caveat that
 selected in order to have negligible bias".  The sweep quantifies both
 halves: T=10 suffices on the paper's (expander) overlay, and no small T
 suffices on a poor-expansion ring.
+
+Runs through `repro.runtime`: each grid point is a cached, picklable
+trial batch, so `REPRO_WORKERS` shards the repetitions across worker
+processes and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the project's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for inline markdown links
+(``[text](target)``) and verifies that every non-external target resolves
+to an existing file or directory relative to the containing document
+(``#anchor`` suffixes are stripped; pure-anchor and ``http(s)``/``mailto``
+links are skipped — CI must not depend on network reachability).
+
+Used by the CI docs job; importable from tests.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List
+
+#: Inline markdown links. Deliberately simple: no reference-style links
+#: are used in this repo, and nested parens don't appear in targets.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(text: str) -> Iterable[str]:
+    """All inline link targets in a markdown document."""
+    for match in _LINK_RE.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems: List[str] = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+    return problems
+
+
+def default_docs(root: pathlib.Path) -> List[pathlib.Path]:
+    """The documents the CI job validates."""
+    docs = [root / "README.md"]
+    docs.extend(sorted((root / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def main(argv: List[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path.cwd()
+    paths = default_docs(root)
+    if not paths:
+        print(f"no markdown docs found under {root}", file=sys.stderr)
+        return 1
+    problems = [p for path in paths for p in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(paths)} file(s): {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

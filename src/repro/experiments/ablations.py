@@ -15,23 +15,48 @@ Each function measures one claim the paper makes in prose:
   accuracy" (§V);
 * :func:`topology_comparison` — homogeneous graphs "consistently improved
   all algorithms" over heterogeneous ones (§IV-A).
+
+Execution model
+---------------
+Every study is a *parameter grid*: one table row (or row group) per grid
+point, ``repetitions`` independent estimations per point.  Each grid point
+is expressed as a batch of picklable ``fresh_probe``
+:class:`~repro.runtime.TrialSpec` units and executed through
+:func:`repro.runtime.sweep` / :func:`repro.runtime.run_trials`, so passing
+``runtime=RuntimeOptions(workers=…, store=…)`` shards the repetitions over
+a process pool and serves reruns from the content-addressed store.
+``runtime=None`` (the default) runs serially and uncached — and produces
+**bit-identical numbers** either way, because each repetition's generator
+is derived from ``(ablation seed, fresh-stream name, repetition index)``
+alone, exactly reproducing the historical ``RngHub.fresh`` lineage.
+
+Cache-key semantics: a grid point's artifact is addressed by the ablation's
+derived hub seed, the overlay spec (builder + size + degree parameters),
+the estimator spec (kind + parameters), the fresh-stream name, and the
+repetition indices.  Changing ``seed``, ``scale`` (through the overlay
+size), any estimator knob, or the repetition count therefore invalidates —
+re-keys — the artifact; worker count, cache directory, and progress
+reporting never do.  Grid-point units: one artifact per
+(parameter value × ``repetitions`` one-shot estimations).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.curves import TableResult
-from ..core.aggregation import AggregationProtocol
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.random_tour import RandomTourEstimator
-from ..core.sample_collide import SampleCollideEstimator
-from ..overlay.builders import heterogeneous_random, homogeneous_random
-from ..sim.rng import RngHub
+from ..runtime import (
+    EstimatorSpec,
+    OverlaySpec,
+    RuntimeOptions,
+    TrialResult,
+    TrialSpec,
+    sweep,
+)
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
 
 __all__ = [
     "sc_cost_vs_l",
@@ -42,13 +67,71 @@ __all__ = [
 ]
 
 
-def _setup(scale, seed, tag: str):
+def _config(scale: Optional[object], seed: Optional[int]) -> ExperimentConfig:
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
-    hub = RngHub(cfg.seed).child(tag)
-    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
-    return cfg, hub, graph
+    return cfg
+
+
+def _ablation_seed(cfg: ExperimentConfig, tag: str) -> int:
+    """Hub seed of the ablation: ``RngHub(cfg.seed).child(tag).seed``.
+
+    Every trial of the study derives from this one integer (plus the
+    fresh-stream name and repetition index), which is also why it anchors
+    the content address of every grid-point artifact.
+    """
+    return derive_seed(cfg.seed, f"child:{tag}")
+
+
+def _overlay(cfg: ExperimentConfig) -> OverlaySpec:
+    """The paper's standard heterogeneous overlay at the 100k stand-in size."""
+    return OverlaySpec.heterogeneous(
+        cfg.scale.n_100k, max_degree=cfg.max_degree, min_degree=cfg.min_degree
+    )
+
+
+def _fresh_batch(
+    hub_seed: int,
+    overlay: OverlaySpec,
+    estimator: EstimatorSpec,
+    fresh_name: str,
+    repetitions: int,
+    start: int = 0,
+) -> List[TrialSpec]:
+    """One grid point: ``repetitions`` fresh-lineage one-shot estimations.
+
+    ``start`` offsets the repetition indices for studies whose serial loops
+    shared one fresh counter across grid points (the topology comparison
+    advances "sc"/"hops"/"agg" counters across both overlays).
+    """
+    return [
+        TrialSpec(
+            "fresh_probe",
+            hub_seed,
+            k,
+            overlay=overlay,
+            estimator=estimator,
+            params={"fresh_name": fresh_name},
+        )
+        for k in range(start, start + repetitions)
+    ]
+
+
+def _qualities(results: Sequence[TrialResult]) -> List[float]:
+    return [100.0 * r.value / r.true_size for r in results]
+
+
+def _errors(results: Sequence[TrialResult]) -> List[float]:
+    return [abs(100.0 * r.value / r.true_size - 100.0) for r in results]
+
+
+def _messages(results: Sequence[TrialResult]) -> List[int]:
+    return [r.extra["messages"] for r in results]
+
+
+def _true_size(results: Sequence[TrialResult]) -> int:
+    return int(results[0].true_size)
 
 
 def sc_cost_vs_l(
@@ -56,14 +139,32 @@ def sc_cost_vs_l(
     seed: Optional[int] = None,
     ls: Sequence[int] = (10, 100, 200),
     repetitions: int = 8,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Sample&Collide overhead and accuracy across ``l`` values.
 
     Cost grows as ``sqrt(l)``: expected ratios l=100/l=10 ≈ 3.16 (paper
     measured 3.27) and l=200/l=100 ≈ 1.41 (paper: 1.40).
+
+    Grid: one cached batch per ``l`` (``repetitions`` estimations each);
+    adding an ``l`` value to a warm sweep only computes the new point.
     """
-    cfg, hub, graph = _setup(scale, seed, "abl_sc_l")
-    true = graph.size
+    cfg = _config(scale, seed)
+    hub_seed = _ablation_seed(cfg, "abl_sc_l")
+    overlay = _overlay(cfg)
+    grid = sweep(
+        lambda l: _fresh_batch(
+            hub_seed,
+            overlay,
+            EstimatorSpec.sample_collide(l=l, timer=cfg.sc_timer),
+            f"sc{l}",
+            repetitions,
+        ),
+        ls,
+        runtime=runtime,
+        tag="ablation_sc_l",
+    )
+    true = _true_size(next(iter(grid.values())))
     table = TableResult(
         table_id="ablation_sc_l",
         title=f"Sample&Collide cost vs l (n={true})",
@@ -72,20 +173,13 @@ def sc_cost_vs_l(
     )
     prev = None
     for l in ls:
-        msgs: List[int] = []
-        errs: List[float] = []
-        for _ in range(repetitions):
-            est = SampleCollideEstimator(
-                graph, l=l, timer=cfg.sc_timer, rng=hub.fresh(f"sc{l}")
-            ).estimate()
-            msgs.append(est.messages)
-            errs.append(abs(100.0 * est.value / true - 100.0))
-        mean_msgs = float(np.mean(msgs))
+        results = grid[l]
+        mean_msgs = float(np.mean(_messages(results)))
         table.add_row(
             l=l,
             mean_messages=int(mean_msgs),
             cost_ratio_vs_prev=round(mean_msgs / prev, 2) if prev else float("nan"),
-            mean_abs_error_pct=round(float(np.mean(errs)), 2),
+            mean_abs_error_pct=round(float(np.mean(_errors(results))), 2),
         )
         prev = mean_msgs
     return table
@@ -95,36 +189,50 @@ def hops_oracle_bias(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     repetitions: int = 10,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """HopsSampling with gossip distances vs exact (oracle) distances.
 
     The oracle run removes the spread's reach/distance errors; the paper
     found it "correct", pinning the under-estimation on the spread phase.
+
+    Grid: one cached batch per distance mode (gossip / oracle).
     """
-    cfg, hub, graph = _setup(scale, seed, "abl_oracle")
-    true = graph.size
+    cfg = _config(scale, seed)
+    hub_seed = _ablation_seed(cfg, "abl_oracle")
+    overlay = _overlay(cfg)
+    modes: Tuple[Tuple[str, bool], ...] = (
+        ("gossip distances", False),
+        ("oracle distances", True),
+    )
+    grid = sweep(
+        lambda mode: _fresh_batch(
+            hub_seed,
+            overlay,
+            EstimatorSpec.hops_sampling(
+                gossip_to=cfg.hops_fanout,
+                min_hops_reporting=cfg.hops_min_reporting,
+                oracle_distances=mode[1],
+            ),
+            f"hops_{mode[1]}",
+            repetitions,
+        ),
+        modes,
+        runtime=runtime,
+        tag="ablation_hops_oracle",
+    )
+    true = _true_size(next(iter(grid.values())))
     table = TableResult(
         table_id="ablation_hops_oracle",
         title=f"HopsSampling bias: gossip vs oracle distances (n={true})",
         columns=["mode", "mean_quality_pct", "mean_coverage"],
         notes="paper: with exact distances the estimation was correct (bias ~0)",
     )
-    for mode, oracle in (("gossip distances", False), ("oracle distances", True)):
-        quals: List[float] = []
-        covs: List[float] = []
-        for _ in range(repetitions):
-            est = HopsSamplingEstimator(
-                graph,
-                gossip_to=cfg.hops_fanout,
-                min_hops_reporting=cfg.hops_min_reporting,
-                rng=hub.fresh(f"hops_{oracle}"),
-                oracle_distances=oracle,
-            ).estimate()
-            quals.append(100.0 * est.value / true)
-            covs.append(est.meta["coverage"])
+    for mode, results in grid.items():
+        covs = [r.extra["meta"]["coverage"] for r in results]
         table.add_row(
-            mode=mode,
-            mean_quality_pct=round(float(np.mean(quals)), 2),
+            mode=mode[0],
+            mean_quality_pct=round(float(np.mean(_qualities(results))), 2),
             mean_coverage=round(float(np.mean(covs)), 3),
         )
     return table
@@ -134,42 +242,45 @@ def random_tour_gap(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     repetitions: int = 8,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Random Tour vs Sample&Collide: the §II cost gap.
 
     Random Tour costs Θ(2m/deg(init)) ≈ Θ(N) messages per estimate versus
     S&C's Θ(sqrt(2lN)·(T·d̄+1)); the gap widens with N.
+
+    Grid: one cached batch per algorithm.
     """
-    cfg, hub, graph = _setup(scale, seed, "abl_rt")
-    true = graph.size
+    cfg = _config(scale, seed)
+    hub_seed = _ablation_seed(cfg, "abl_rt")
+    overlay = _overlay(cfg)
+    algorithms: Dict[str, Tuple[EstimatorSpec, str]] = {
+        "Random Tour": (EstimatorSpec.random_tour(), "rt"),
+        "Sample&Collide (l=200)": (
+            EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer),
+            "sc",
+        ),
+    }
+    grid = sweep(
+        lambda name: _fresh_batch(
+            hub_seed, overlay, algorithms[name][0], algorithms[name][1], repetitions
+        ),
+        algorithms,
+        runtime=runtime,
+        tag="ablation_random_tour",
+    )
+    true = _true_size(next(iter(grid.values())))
     table = TableResult(
         table_id="ablation_random_tour",
         title=f"Random Tour vs Sample&Collide overhead (n={true})",
         columns=["algorithm", "mean_messages", "mean_abs_error_pct"],
         notes="paper (section II): S&C overhead much lower than Random Tour",
     )
-    for name, make in (
-        (
-            "Random Tour",
-            lambda: RandomTourEstimator(graph, rng=hub.fresh("rt")),
-        ),
-        (
-            "Sample&Collide (l=200)",
-            lambda: SampleCollideEstimator(
-                graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.fresh("sc")
-            ),
-        ),
-    ):
-        msgs: List[int] = []
-        errs: List[float] = []
-        for _ in range(repetitions):
-            est = make().estimate()
-            msgs.append(est.messages)
-            errs.append(abs(100.0 * est.value / true - 100.0))
+    for name, results in grid.items():
         table.add_row(
             algorithm=name,
-            mean_messages=int(np.mean(msgs)),
-            mean_abs_error_pct=round(float(np.mean(errs)), 1),
+            mean_messages=int(np.mean(_messages(results))),
+            mean_abs_error_pct=round(float(np.mean(_errors(results))), 1),
         )
     return table
 
@@ -179,15 +290,34 @@ def hops_min_reporting_sweep(
     seed: Optional[int] = None,
     values: Sequence[int] = (1, 3, 5, 7),
     repetitions: int = 8,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Accuracy/overhead across minHopsReporting values.
 
     Expected: overhead barely moves (the spread dominates, replies are a
     minority share), while small values degrade accuracy (fewer certain
     reporters, heavier extrapolation weights ⇒ more variance).
+
+    Grid: one cached batch per ``minHopsReporting`` value.
     """
-    cfg, hub, graph = _setup(scale, seed, "abl_minhops")
-    true = graph.size
+    cfg = _config(scale, seed)
+    hub_seed = _ablation_seed(cfg, "abl_minhops")
+    overlay = _overlay(cfg)
+    grid = sweep(
+        lambda mh: _fresh_batch(
+            hub_seed,
+            overlay,
+            EstimatorSpec.hops_sampling(
+                gossip_to=cfg.hops_fanout, min_hops_reporting=mh
+            ),
+            f"mh{mh}",
+            repetitions,
+        ),
+        values,
+        runtime=runtime,
+        tag="ablation_min_hops",
+    )
+    true = _true_size(next(iter(grid.values())))
     table = TableResult(
         table_id="ablation_min_hops",
         title=f"HopsSampling minHopsReporting sweep (n={true})",
@@ -199,21 +329,11 @@ def hops_min_reporting_sweep(
         ],
         notes="paper: lowering minHopsReporting does not cut overhead but hurts accuracy",
     )
-    for mh in values:
-        msgs: List[int] = []
-        quals: List[float] = []
-        for _ in range(repetitions):
-            est = HopsSamplingEstimator(
-                graph,
-                gossip_to=cfg.hops_fanout,
-                min_hops_reporting=mh,
-                rng=hub.fresh(f"mh{mh}"),
-            ).estimate()
-            msgs.append(est.messages)
-            quals.append(100.0 * est.value / true)
+    for mh, results in grid.items():
+        quals = _qualities(results)
         table.add_row(
             min_hops_reporting=mh,
-            mean_messages=int(np.mean(msgs)),
+            mean_messages=int(np.mean(_messages(results))),
             mean_quality_pct=round(float(np.mean(quals)), 1),
             std_quality_pct=round(float(np.std(quals)), 1),
         )
@@ -224,58 +344,61 @@ def topology_comparison(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     repetitions: int = 8,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """All three candidates on heterogeneous vs homogeneous overlays.
 
     §IV-A: homogeneous degree "consistently improved all algorithms"; the
     heterogeneous overlay is the worst-case setting the paper reports.
+
+    Grid: one cached batch per (topology × algorithm) cell.  The serial
+    study advanced one fresh counter per algorithm *across* topologies, so
+    the homogeneous batches carry offset repetition indices — preserved
+    here so results stay bit-identical to the historical loops.
     """
-    cfg = ExperimentConfig(scale=resolve_scale(scale))
-    if seed is not None:
-        cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
-    hub = RngHub(cfg.seed).child("abl_topo")
+    cfg = _config(scale, seed)
+    hub_seed = _ablation_seed(cfg, "abl_topo")
     n = cfg.scale.n_100k
     k = cfg.max_degree - 2  # homogeneous degree ≈ the heterogeneous mean
-    graphs = {
-        "heterogeneous (1..10)": heterogeneous_random(
-            n, max_degree=cfg.max_degree, rng=hub.stream("het")
+    topologies: Dict[str, Tuple[int, OverlaySpec]] = {
+        "heterogeneous (1..10)": (
+            0,
+            OverlaySpec.heterogeneous(n, max_degree=cfg.max_degree, stream="het"),
         ),
-        f"homogeneous (k={k})": homogeneous_random(n, k=k, rng=hub.stream("hom")),
+        f"homogeneous (k={k})": (1, OverlaySpec.homogeneous(n, k=k, stream="hom")),
     }
+    algorithms: Dict[str, Tuple[EstimatorSpec, str]] = {
+        "Sample&Collide (l=200)": (EstimatorSpec.sample_collide(l=cfg.sc_l), "sc"),
+        "HopsSampling": (EstimatorSpec.hops_sampling(), "hops"),
+        "Aggregation (50 rounds)": (EstimatorSpec.aggregation_epoch(rounds=50), "agg"),
+    }
+    cells = [
+        (topo_name, alg_name)
+        for topo_name in topologies
+        for alg_name in algorithms
+    ]
+
+    def _cell_batch(cell: Tuple[str, str]) -> List[TrialSpec]:
+        topo_idx, overlay = topologies[cell[0]]
+        estimator, fresh = algorithms[cell[1]]
+        # the serial loops advanced each algorithm's fresh counter across
+        # topologies, so the second topology starts at k=repetitions
+        return _fresh_batch(
+            hub_seed, overlay, estimator, fresh, repetitions,
+            start=topo_idx * repetitions,
+        )
+
+    grid = sweep(_cell_batch, cells, runtime=runtime, tag="ablation_topology")
     table = TableResult(
         table_id="ablation_topology",
         title=f"Estimator error: heterogeneous vs homogeneous overlays (n={n})",
         columns=["topology", "algorithm", "mean_abs_error_pct"],
         notes="paper: homogeneous degree consistently improved all algorithms",
     )
-    for topo_name, graph in graphs.items():
-        true = graph.size
-        for alg_name, run in (
-            (
-                "Sample&Collide (l=200)",
-                lambda g=graph: SampleCollideEstimator(
-                    g, l=cfg.sc_l, rng=hub.fresh("sc")
-                ).estimate(),
-            ),
-            (
-                "HopsSampling",
-                lambda g=graph: HopsSamplingEstimator(
-                    g, rng=hub.fresh("hops")
-                ).estimate(),
-            ),
-            (
-                "Aggregation (50 rounds)",
-                lambda g=graph: AggregationProtocol(
-                    g, rng=hub.fresh("agg")
-                ).estimate(rounds=50),
-            ),
-        ):
-            errs = [
-                abs(100.0 * run().value / true - 100.0) for _ in range(repetitions)
-            ]
-            table.add_row(
-                topology=topo_name,
-                algorithm=alg_name,
-                mean_abs_error_pct=round(float(np.mean(errs)), 2),
-            )
+    for (topo_name, alg_name), results in grid.items():
+        table.add_row(
+            topology=topo_name,
+            algorithm=alg_name,
+            mean_abs_error_pct=round(float(np.mean(_errors(results))), 2),
+        )
     return table

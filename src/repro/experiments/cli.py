@@ -1,23 +1,35 @@
-"""Command-line entry point: regenerate any figure or table of the paper.
+"""Command-line entry point: experiments + results-cache lifecycle.
+
+The CLI is organized in subcommands::
+
+    repro-experiment run <target> [options]   # regenerate a figure/table
+    repro-experiment list                     # print the catalogue
+    repro-experiment cache ls                 # artifact table
+    repro-experiment cache stats              # aggregate store metadata
+    repro-experiment cache gc [--dry-run]     # age/size-based eviction
 
 Examples
 --------
 Run Fig 1 at the default scale and print the ASCII chart::
 
-    repro-experiment fig1
+    repro-experiment run fig1
 
 Run Table I at the small (benchmark) scale and save CSVs::
 
-    repro-experiment table1 --scale small --csv-dir results/
-
-Run everything (can take a while at default scale)::
-
-    repro-experiment all --scale small
+    repro-experiment run table1 --scale small --csv-dir results/
 
 Shard the trials of each figure over 4 worker processes and cache results
 so the next identical invocation is served from disk::
 
-    repro-experiment fig1 --scale small --workers 4 --cache-dir ~/.cache/repro
+    repro-experiment run fig1 --scale small --workers 4 --cache-dir ~/.cache/repro
+
+Inspect and prune that cache::
+
+    repro-experiment cache ls --cache-dir ~/.cache/repro
+    repro-experiment cache gc --cache-dir ~/.cache/repro --max-age-days 30 --dry-run
+
+``repro-experiment fig1`` (the pre-subcommand form) still works: a bare
+target is rewritten to ``run <target>`` for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -25,13 +37,14 @@ from __future__ import annotations
 import argparse
 import os
 import pathlib
+import re
 import sys
 import time
 from typing import List, Optional
 
 from ..analysis.ascii_chart import render_figure, render_table
 from ..analysis.curves import FigureResult, TableResult
-from ..runtime import LogProgress, RuntimeOptions, supports_runtime
+from ..runtime import LogProgress, ResultsStore, RuntimeOptions, supports_runtime
 from . import FIGURES, TABLES
 from .config import SCALES
 
@@ -49,38 +62,76 @@ def _cache_dir(value: str) -> pathlib.Path:
     return path
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests and docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiment",
-        description=(
-            "Regenerate figures/tables from 'Peer to peer size estimation in "
-            "large and dynamic networks: A comparative study' (HPDC 2006)."
-        ),
+_SIZE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": 10**3,
+    "kb": 10**3,
+    "m": 10**6,
+    "mb": 10**6,
+    "g": 10**9,
+    "gb": 10**9,
+    "kib": 2**10,
+    "mib": 2**20,
+    "gib": 2**30,
+}
+
+
+def _parse_size(value: str) -> int:
+    """Parse a human size ('500k', '1.5GB', '64MiB', plain bytes) to bytes."""
+    m = re.fullmatch(r"\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*", value)
+    if not m or m.group(2).lower() not in _SIZE_UNITS:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse size {value!r} (try '500k', '1.5GB', '64MiB' or bytes)"
+        )
+    return int(float(m.group(1)) * _SIZE_UNITS[m.group(2).lower()])
+
+
+def _format_size(n: int) -> str:
+    for unit, div in (("GB", 10**9), ("MB", 10**6), ("kB", 10**3)):
+        if n >= div:
+            return f"{n / div:.1f}{unit}"
+    return f"{n}B"
+
+
+def _format_age(seconds: float) -> str:
+    if seconds >= 86400:
+        return f"{seconds / 86400:.1f}d"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.0f}m"
+    return f"{max(seconds, 0):.0f}s"
+
+
+def _add_run_parser(subparsers) -> None:
+    run = subparsers.add_parser(
+        "run",
+        help="regenerate a figure/table (or 'all')",
+        description="Regenerate one experiment, or every one with 'all'.",
     )
-    targets = sorted(FIGURES) + sorted(TABLES) + ["all", "list"]
-    parser.add_argument(
+    run.add_argument(
         "target",
-        choices=targets,
-        help="experiment to run ('list' prints the catalogue, 'all' runs everything)",
+        choices=sorted(FIGURES) + sorted(TABLES) + ["all"],
+        help="experiment to run ('all' runs everything)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default=None,
         help="scale preset (default: $REPRO_SCALE or 'default')",
     )
-    parser.add_argument("--seed", type=int, default=None, help="master seed override")
-    parser.add_argument(
+    run.add_argument("--seed", type=int, default=None, help="master seed override")
+    run.add_argument(
         "--csv-dir",
         type=pathlib.Path,
         default=None,
         help="directory to write per-experiment CSV files into",
     )
-    parser.add_argument(
+    run.add_argument(
         "--quiet", action="store_true", help="suppress chart rendering (CSV only)"
     )
-    parser.add_argument(
+    run.add_argument(
         "--workers",
         type=int,
         default=int(os.environ.get("REPRO_WORKERS", "1")),
@@ -89,35 +140,120 @@ def build_parser() -> argparse.ArgumentParser:
             "results are bit-identical at any worker count)"
         ),
     )
-    parser.add_argument(
+    env_cache = os.environ.get("REPRO_CACHE_DIR") or None
+    run.add_argument(
         "--cache-dir",
         type=_cache_dir,
-        default=None,
+        default=pathlib.Path(env_cache) if env_cache else None,
         help=(
-            "content-addressed results store; reruns of an identical "
-            "experiment are served from it without recomputation"
+            "content-addressed results store (default: $REPRO_CACHE_DIR); "
+            "reruns of an identical experiment are served from it without "
+            "recomputation"
         ),
     )
-    parser.add_argument(
+    run.add_argument(
         "--force",
         action="store_true",
         help="recompute even when the cache holds the experiment (and refresh it)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--progress",
         action="store_true",
         help="log trial progress to stderr",
     )
+
+
+def _add_cache_parser(subparsers) -> None:
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect / garbage-collect the results store",
+        description=(
+            "Lifecycle tooling for the content-addressed results store "
+            "written by 'run --cache-dir' (and the REPRO_CACHE_DIR-driven "
+            "benchmark runs)."
+        ),
+    )
+    sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _dir_arg(p):
+        p.add_argument(
+            "--cache-dir",
+            type=_cache_dir,
+            default=None,
+            help="store directory (default: $REPRO_CACHE_DIR)",
+        )
+
+    ls = sub.add_parser(
+        "ls",
+        help="table of artifacts (key, tag, trials, size, age)",
+        description=(
+            "List every artifact: content key, experiment tag, trial count, "
+            "size, age since creation, and whether it has served a cache hit."
+        ),
+    )
+    _dir_arg(ls)
+
+    stats = sub.add_parser(
+        "stats",
+        help="aggregate size/hit metadata",
+        description="Aggregate store statistics, including a per-tag breakdown.",
+    )
+    _dir_arg(stats)
+
+    gc = sub.add_parser(
+        "gc",
+        help="evict artifacts by age and/or size budget",
+        description=(
+            "Evict artifacts older than --max-age-days, then (oldest first) "
+            "until the store fits --max-size.  --dry-run reports the "
+            "selection without deleting anything."
+        ),
+    )
+    _dir_arg(gc)
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict artifacts older than this many days (by creation time)",
+    )
+    gc.add_argument(
+        "--max-size",
+        type=_parse_size,
+        default=None,
+        help="total-size budget ('500k', '1.5GB', '64MiB' or bytes)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted; delete nothing",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate figures/tables from 'Peer to peer size estimation in "
+            "large and dynamic networks: A comparative study' (HPDC 2006), "
+            "and manage the content-addressed results cache."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    subparsers.add_parser("list", help="print the experiment catalogue")
+    _add_cache_parser(subparsers)
     return parser
 
 
-def _runtime_options(args) -> RuntimeOptions:
+def _runtime_options(args, tag: Optional[str] = None) -> RuntimeOptions:
     """Map parsed CLI arguments onto the runtime's execution knobs."""
     return RuntimeOptions.create(
         workers=args.workers,
         cache_dir=args.cache_dir,
         force=args.force,
         progress=LogProgress() if args.progress else None,
+        tag=tag,
     )
 
 
@@ -125,7 +261,7 @@ def _run_one(name: str, args) -> object:
     fn = FIGURES.get(name) or TABLES.get(name)
     kwargs = {"scale": args.scale, "seed": args.seed}
     if supports_runtime(fn):
-        kwargs["runtime"] = _runtime_options(args)
+        kwargs["runtime"] = _runtime_options(args, tag=name)
     start = time.perf_counter()
     result = fn(**kwargs)
     elapsed = time.perf_counter() - start
@@ -144,19 +280,134 @@ def _run_one(name: str, args) -> object:
     return result
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.target == "list":
-        sys.stdout.write("figures: " + " ".join(sorted(FIGURES)) + "\n")
-        sys.stdout.write("tables:  " + " ".join(sorted(TABLES)) + "\n")
-        return 0
+def _cmd_run(args) -> int:
     names = (
         sorted(FIGURES) + sorted(TABLES) if args.target == "all" else [args.target]
     )
     for name in names:
         _run_one(name, args)
     return 0
+
+
+def _cmd_list() -> int:
+    sys.stdout.write("figures: " + " ".join(sorted(FIGURES)) + "\n")
+    sys.stdout.write("tables:  " + " ".join(sorted(TABLES)) + "\n")
+    return 0
+
+
+def _resolve_store(args, parser: argparse.ArgumentParser) -> ResultsStore:
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            cache_dir = pathlib.Path(env)
+    if cache_dir is None:
+        parser.error("no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR")
+    return ResultsStore(cache_dir)
+
+
+def _cmd_cache_ls(store: ResultsStore) -> int:
+    infos = store.artifacts()
+    if not infos:
+        sys.stdout.write(f"{store.root}: empty store\n")
+        return 0
+    now = time.time()
+    header = f"{'KEY':<14} {'TAG':<24} {'TRIALS':>6} {'SIZE':>8} {'AGE':>7}  HIT\n"
+    sys.stdout.write(header)
+    for info in infos:
+        sys.stdout.write(
+            f"{info.key[:12] + '..':<14} "
+            f"{(info.tag or '-')[:24]:<24} "
+            f"{info.trials:>6} "
+            f"{_format_size(info.size_bytes):>8} "
+            f"{_format_age(info.age_seconds(now)):>7}  "
+            f"{'yes' if info.hit else '-'}\n"
+        )
+    sys.stdout.write(
+        f"{len(infos)} artifact(s), "
+        f"{_format_size(sum(i.size_bytes for i in infos))} total\n"
+    )
+    return 0
+
+
+def _cmd_cache_stats(store: ResultsStore) -> int:
+    st = store.stats()
+    sys.stdout.write(f"store:          {store.root}\n")
+    sys.stdout.write(f"artifacts:      {st.artifacts}\n")
+    sys.stdout.write(f"total size:     {_format_size(st.total_bytes)}\n")
+    sys.stdout.write(f"cached trials:  {st.trials}\n")
+    sys.stdout.write(f"hit artifacts:  {st.hit_artifacts}\n")
+    sys.stdout.write(f"stale schema:   {st.stale_schema}\n")
+    if st.artifacts:
+        sys.stdout.write(
+            f"age range:      {_format_age(st.newest_age_seconds)} .. "
+            f"{_format_age(st.oldest_age_seconds)}\n"
+        )
+    if st.by_tag:
+        sys.stdout.write("by tag:\n")
+        for tag, bucket in sorted(st.by_tag.items()):
+            sys.stdout.write(
+                f"  {tag:<28} {bucket['artifacts']:>4} artifact(s) "
+                f"{_format_size(bucket['bytes']):>8} {bucket['trials']:>6} trial(s)\n"
+            )
+    return 0
+
+
+def _cmd_cache_gc(store: ResultsStore, args, parser: argparse.ArgumentParser) -> int:
+    if args.max_age_days is None and args.max_size is None:
+        parser.error("cache gc needs a policy: --max-age-days and/or --max-size")
+    report = store.gc(
+        max_age_seconds=(
+            None if args.max_age_days is None else args.max_age_days * 86400.0
+        ),
+        max_total_bytes=args.max_size,
+        dry_run=args.dry_run,
+    )
+    verb = "would evict" if report.dry_run else "evicted"
+    for info in report.evicted:
+        sys.stdout.write(
+            f"{verb} {info.key[:12]}.. "
+            f"({info.tag or '-'}, {_format_size(info.size_bytes)}, "
+            f"{_format_age(info.age_seconds())} old)\n"
+        )
+    sys.stdout.write(
+        f"{verb} {len(report.evicted)} artifact(s) "
+        f"({_format_size(report.evicted_bytes)}); "
+        f"kept {report.kept} ({_format_size(report.kept_bytes)})\n"
+    )
+    return 0
+
+
+#: Bare targets accepted for backwards compatibility with the
+#: pre-subcommand CLI (``repro-experiment fig1``).
+_LEGACY_TARGETS = frozenset(FIGURES) | frozenset(TABLES) | {"all"}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The pre-subcommand parser accepted optionals before the target
+    # ("--scale small fig1"), so rewrite whenever a bare target appears
+    # anywhere and no subcommand was given.
+    if (
+        argv
+        and not any(a in ("run", "list", "cache") for a in argv)
+        and any(a in _LEGACY_TARGETS for a in argv)
+    ):
+        argv = ["run"] + argv
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    # cache family
+    store = _resolve_store(args, parser)
+    if args.cache_command == "ls":
+        return _cmd_cache_ls(store)
+    if args.cache_command == "stats":
+        return _cmd_cache_stats(store)
+    return _cmd_cache_gc(store, args, parser)
 
 
 if __name__ == "__main__":  # pragma: no cover

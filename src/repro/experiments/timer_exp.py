@@ -13,20 +13,29 @@ Expected shape: on the expander, small ``T`` under-estimates severely
 already removes the bias; on the ring, even ``T = 10`` is insufficient —
 the quantitative form of the paper's caveat, and the reason ``T`` cannot
 be blindly ported to overlays with poor expansion.
+
+Each (topology × T) grid point runs as one cached ``fresh_probe`` batch
+through :func:`repro.runtime.sweep` — pass ``runtime=`` to shard the
+repetitions over workers and serve reruns from the results store, with
+output bit-identical to the serial loops.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.curves import TableResult
-from ..core.sample_collide import SampleCollideEstimator
-from ..overlay.builders import ring_lattice
-from ..sim.rng import RngHub
+from ..runtime import (
+    EstimatorSpec,
+    OverlaySpec,
+    RuntimeOptions,
+    TrialSpec,
+    sweep,
+)
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
 
 __all__ = ["sc_timer_sweep"]
 
@@ -36,19 +45,45 @@ def sc_timer_sweep(
     seed: Optional[int] = None,
     timers: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
     repetitions: int = 8,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
-    """Sample&Collide quality vs walk budget ``T`` on expander vs ring."""
+    """Sample&Collide quality vs walk budget ``T`` on expander vs ring.
+
+    Grid: one cached batch per (topology, T) cell, ``repetitions``
+    one-shot estimations each; the batch's content address covers the
+    derived hub seed, overlay spec, ``l``/``T``, and repetition indices.
+    """
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
-    hub = RngHub(cfg.seed).child("timer")
+    hub_seed = derive_seed(cfg.seed, "child:timer")
     # Keep the sweep affordable: the ring's mixing is so slow that the
     # interesting regime is fully visible at a fraction of n_100k.
     n = max(cfg.scale.n_100k // 4, 500)
-    graphs = {
-        "heterogeneous (expander)": build_overlay(cfg, n, hub),
-        "ring lattice (poor expansion)": ring_lattice(n, k=2),
+    overlays: Dict[str, OverlaySpec] = {
+        "heterogeneous (expander)": OverlaySpec.heterogeneous(
+            n, max_degree=cfg.max_degree, min_degree=cfg.min_degree
+        ),
+        "ring lattice (poor expansion)": OverlaySpec.ring_lattice(n, k=2),
     }
+    l = 50  # modest collision target: the sweep isolates sampling bias
+    cells = [(topo, timer) for topo in overlays for timer in timers]
+
+    def _cell_batch(cell: Tuple[str, float]) -> List[TrialSpec]:
+        topo_name, timer = cell
+        return [
+            TrialSpec(
+                "fresh_probe",
+                hub_seed,
+                k,
+                overlay=overlays[topo_name],
+                estimator=EstimatorSpec.sample_collide(l=l, timer=timer),
+                params={"fresh_name": f"{topo_name}:{timer}"},
+            )
+            for k in range(repetitions)
+        ]
+
+    grid = sweep(_cell_batch, cells, runtime=runtime, tag="ablation_sc_timer")
     table = TableResult(
         table_id="ablation_sc_timer",
         title=f"Sample&Collide quality vs timer budget T (n={n})",
@@ -59,21 +94,13 @@ def sc_timer_sweep(
             "should be selected'"
         ),
     )
-    l = 50  # modest collision target: the sweep isolates sampling bias
-    for topo_name, graph in graphs.items():
-        true = graph.size
-        for timer in timers:
-            quals, msgs = [], []
-            for _ in range(repetitions):
-                est = SampleCollideEstimator(
-                    graph, l=l, timer=timer, rng=hub.fresh(f"{topo_name}:{timer}")
-                ).estimate()
-                quals.append(100.0 * est.value / true)
-                msgs.append(est.messages)
-            table.add_row(
-                topology=topo_name,
-                timer=timer,
-                mean_quality_pct=round(float(np.mean(quals)), 1),
-                mean_messages=int(np.mean(msgs)),
-            )
+    for (topo_name, timer), results in grid.items():
+        quals = [100.0 * r.value / r.true_size for r in results]
+        msgs = [r.extra["messages"] for r in results]
+        table.add_row(
+            topology=topo_name,
+            timer=timer,
+            mean_quality_pct=round(float(np.mean(quals)), 1),
+            mean_messages=int(np.mean(msgs)),
+        )
     return table

@@ -28,7 +28,15 @@ from .api import (
 )
 from .pool import TrialExecutor, chunk_specs
 from .progress import LogProgress, NullProgress, ProgressReporter, TelemetryCollector
-from .store import ResultsStore, SCHEMA_VERSION, canonical_json, content_key
+from .store import (
+    ArtifactInfo,
+    GCReport,
+    ResultsStore,
+    SCHEMA_VERSION,
+    StoreStats,
+    canonical_json,
+    content_key,
+)
 from .trials import (
     EstimatorSpec,
     OverlaySpec,
@@ -40,8 +48,11 @@ from .trials import (
 )
 
 __all__ = [
+    "ArtifactInfo",
     "EstimatorSpec",
+    "GCReport",
     "LogProgress",
+    "StoreStats",
     "NullProgress",
     "OverlaySpec",
     "ProgressReporter",

@@ -58,6 +58,9 @@ class RuntimeOptions:
     store: Optional[ResultsStore] = None
     force: bool = False
     progress: Optional[ProgressReporter] = None
+    #: Human experiment label written into artifact meta (``cache ls``
+    #: displays it).  Display-only: never part of the content address.
+    tag: Optional[str] = None
 
     @classmethod
     def create(
@@ -67,6 +70,7 @@ class RuntimeOptions:
         force: bool = False,
         progress: Optional[ProgressReporter] = None,
         chunk_size: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> "RuntimeOptions":
         """Convenience constructor mapping CLI-level values to options."""
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
@@ -76,11 +80,16 @@ class RuntimeOptions:
             store=store,
             force=force,
             progress=progress,
+            tag=tag,
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
         """Copy with a different progress reporter."""
         return replace(self, progress=progress)
+
+    def with_tag(self, tag: str) -> "RuntimeOptions":
+        """Copy with a different artifact tag."""
+        return replace(self, tag=tag)
 
 
 def batch_config(specs: Sequence[TrialSpec]) -> Dict[str, Any]:
@@ -116,12 +125,15 @@ def run_trials(
     store: Optional[ResultsStore] = None,
     force: Optional[bool] = None,
     progress: Optional[ProgressReporter] = None,
+    tag: Optional[str] = None,
 ) -> List[TrialResult]:
     """Run a batch of trials with caching and parallel dispatch.
 
     Keyword arguments override the corresponding ``runtime`` fields, so
     callers can pass a shared :class:`RuntimeOptions` and still specialize
-    one knob locally.
+    one knob locally.  ``tag`` labels the saved artifact for ``cache ls``
+    (falling back to the batch's trial kind); it is metadata only and never
+    perturbs the content address.
     """
     runtime = runtime or RuntimeOptions()
     workers = runtime.workers if workers is None else workers
@@ -129,6 +141,7 @@ def run_trials(
     store = runtime.store if store is None else store
     force = runtime.force if force is None else force
     progress = progress or runtime.progress or NullProgress()
+    tag = runtime.tag if tag is None else tag
 
     specs = list(specs)
     if not specs:
@@ -147,7 +160,11 @@ def run_trials(
     )
     results = executor.run(specs)
     if store is not None and config is not None:
-        store.save(config, results, meta={"trials": len(specs)})
+        store.save(
+            config,
+            results,
+            meta={"trials": len(specs), "tag": tag or specs[0].kind},
+        )
     return results
 
 

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk results store.
+"""Content-addressed on-disk results store, with lifecycle tooling.
 
 An experiment's full configuration (trial kind, seeds, overlay/estimator
 specs, churn payloads, …) is canonicalized to JSON and hashed with
@@ -7,9 +7,38 @@ configurations therefore always map to the same artifact, regardless of
 where or when they ran — a second invocation of the same experiment is a
 cache hit.
 
-Artifacts embed a schema version; bumping :data:`SCHEMA_VERSION`
-invalidates every previously written artifact at once (old files are
-simply misses, and ``clear()`` reclaims the space).
+Cache-key semantics — what invalidates an artifact
+--------------------------------------------------
+The content address covers *everything that determines the trial results*:
+
+* the trial kind and the exact ``(index, stream)`` pairs of the batch,
+* the master ``hub_seed`` (and ``overlay_seed`` when distinct),
+* the declarative overlay spec (builder name + all parameters),
+* the declarative estimator spec (kind + all parameters),
+* kind-specific ``params`` (churn-trace payloads, horizons, fresh-stream
+  names, rounds, …),
+* :data:`SCHEMA_VERSION`.
+
+Changing any of these — a different seed, one more repetition, a new
+estimator parameter — therefore produces a *different* key: the old
+artifact is never overwritten, it simply stops being addressed (it remains
+on disk until :meth:`ResultsStore.gc` or :meth:`ResultsStore.clear`
+reclaims it).  Conversely, values that do **not** enter the key never
+invalidate: worker count, chunk size, progress reporting, the experiment
+*tag* (display metadata), and the wall-clock of the run.
+
+Bumping :data:`SCHEMA_VERSION` invalidates every previously written
+artifact at once (old files are simply misses until reclaimed).
+
+Lifecycle tooling
+-----------------
+:meth:`ResultsStore.artifacts` enumerates what is on disk (key, tag, size,
+age, trial count), :meth:`ResultsStore.stats` aggregates it, and
+:meth:`ResultsStore.gc` evicts by age and/or total-size budget — the
+``repro-experiment cache ls|stats|gc`` subcommands are thin wrappers over
+these.  A cache *hit* bumps the artifact's access time (its ``atime``,
+never the ``mtime``), so recency of use is observable without rewriting
+artifacts.
 """
 
 from __future__ import annotations
@@ -20,11 +49,21 @@ import math
 import os
 import pathlib
 import tempfile
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from .trials import TrialResult
 
-__all__ = ["SCHEMA_VERSION", "ResultsStore", "canonical_json", "content_key"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactInfo",
+    "GCReport",
+    "ResultsStore",
+    "StoreStats",
+    "canonical_json",
+    "content_key",
+]
 
 #: Bump when the artifact layout or the meaning of a config changes.
 SCHEMA_VERSION = 1
@@ -83,6 +122,67 @@ def content_key(config: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Metadata of one on-disk artifact (one cached experiment batch).
+
+    ``created`` is the artifact's mtime (set at save/refresh, never on
+    read); ``last_access`` its atime (bumped on every cache hit).  ``tag``
+    is the human experiment label recorded in the artifact's meta block —
+    display-only, never part of the content address.
+    """
+
+    key: str
+    path: pathlib.Path
+    size_bytes: int
+    created: float
+    last_access: float
+    tag: str = ""
+    trials: int = 0
+    schema: Optional[int] = None
+
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the artifact was written (or force-refreshed)."""
+        return max(0.0, (time.time() if now is None else now) - self.created)
+
+    @property
+    def hit(self) -> bool:
+        """True when the artifact has served at least one cache hit."""
+        return self.last_access > self.created
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of a store directory (``cache stats``)."""
+
+    artifacts: int
+    total_bytes: int
+    trials: int
+    hit_artifacts: int
+    stale_schema: int
+    oldest_age_seconds: float
+    newest_age_seconds: float
+    by_tag: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one :meth:`ResultsStore.gc` pass.
+
+    ``evicted`` lists the artifacts removed (or, under ``dry_run``, the
+    ones that *would* be); ``kept``/``kept_bytes`` describe what survives.
+    """
+
+    evicted: List[ArtifactInfo]
+    kept: int
+    kept_bytes: int
+    dry_run: bool
+
+    @property
+    def evicted_bytes(self) -> int:
+        return sum(a.size_bytes for a in self.evicted)
+
+
 class ResultsStore:
     """Directory-backed store mapping experiment configs to trial results.
 
@@ -117,10 +217,13 @@ class ResultsStore:
         """Persist ``results`` under the content address of ``config``."""
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Key order matters: schema and meta lead the document so that
+        # artifacts() can enumerate a large store by reading bounded
+        # prefixes instead of parsing every results payload.
         artifact = {
             "schema": SCHEMA_VERSION,
-            "config": _normalize(config),
             "meta": meta or {},
+            "config": _normalize(config),
             "results": _encode_floats([r.as_dict() for r in results]),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -150,12 +253,27 @@ class ResultsStore:
         if artifact.get("schema") != SCHEMA_VERSION:
             return None
         try:
-            return [
+            results = [
                 TrialResult.from_dict(item)
                 for item in _decode_floats(artifact["results"])
             ]
         except (KeyError, TypeError, ValueError):
             return None
+        self._record_hit(path)
+        return results
+
+    @staticmethod
+    def _record_hit(path: pathlib.Path) -> None:
+        """Bump the artifact's atime (mtime untouched) to mark a cache hit.
+
+        Best-effort: a read-only store directory must not turn hits into
+        errors.
+        """
+        try:
+            st = path.stat()
+            os.utime(path, ns=(time.time_ns(), st.st_mtime_ns))
+        except OSError:  # pragma: no cover - filesystem-dependent
+            pass
 
     def contains(self, config: Any) -> bool:
         """True when an artifact for ``config`` exists on disk."""
@@ -179,6 +297,169 @@ class ResultsStore:
             path.unlink()
             removed += 1
         return removed
+
+    # -- lifecycle -----------------------------------------------------
+
+    #: Prefix window for header-only artifact reads; schema + meta always
+    #: fit (meta is a tag string and a trial count), results may not.
+    _HEADER_PROBE_BYTES = 64 * 1024
+
+    @classmethod
+    def _read_header(cls, fh) -> Dict[str, Any]:
+        """Schema/meta of an open artifact without parsing its results.
+
+        Artifacts are written with ``schema`` and ``meta`` leading the
+        document, so for large files a bounded prefix up to the ``config``
+        key parses on its own; anything surprising (pre-reorder key
+        layout, oversized meta, corrupt JSON) falls back to a full parse.
+        """
+        prefix = fh.read(cls._HEADER_PROBE_BYTES)
+        if len(prefix) == cls._HEADER_PROBE_BYTES:
+            cut = prefix.find('"config"')
+            if cut > 0:
+                try:
+                    head = json.loads(prefix[:cut].rstrip().rstrip(",") + "}")
+                except ValueError:
+                    head = None
+                if isinstance(head, dict) and "schema" in head and "meta" in head:
+                    return head
+            prefix += fh.read()
+        return json.loads(prefix)
+
+    def artifacts(self) -> List[ArtifactInfo]:
+        """Enumerate every artifact on disk, oldest first.
+
+        Reads only each artifact's header (schema + meta), not the trial
+        payload, so ``cache ls``/``stats``/``gc`` stay cheap on large
+        stores.  Unreadable files are skipped (consistent with
+        :meth:`load` treating them as misses); artifacts written under a
+        different schema version are still listed — with their recorded
+        ``schema`` — so ``gc`` can reclaim them.
+        """
+        out: List[ArtifactInfo] = []
+        if not self.root.exists():
+            return out
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                st = path.stat()
+                with path.open() as fh:
+                    artifact = self._read_header(fh)
+                # Enumeration must be side-effect free: undo any atime
+                # update our own read may have caused (hits are recorded
+                # exclusively by load()).
+                os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(artifact, Mapping):
+                continue
+            meta = artifact.get("meta")
+            if not isinstance(meta, Mapping):
+                meta = {}
+            out.append(
+                ArtifactInfo(
+                    key=path.stem,
+                    path=path,
+                    size_bytes=int(st.st_size),
+                    created=float(st.st_mtime),
+                    last_access=float(st.st_atime),
+                    tag=str(meta.get("tag", "")),
+                    trials=int(meta.get("trials", 0) or 0),
+                    schema=artifact.get("schema"),
+                )
+            )
+        out.sort(key=lambda a: (a.created, a.key))
+        return out
+
+    def stats(self, now: Optional[float] = None) -> StoreStats:
+        """Aggregate size/usage metadata over all artifacts."""
+        infos = self.artifacts()
+        now = time.time() if now is None else now
+        by_tag: Dict[str, Dict[str, int]] = {}
+        for info in infos:
+            tag = info.tag or "(untagged)"
+            bucket = by_tag.setdefault(tag, {"artifacts": 0, "bytes": 0, "trials": 0})
+            bucket["artifacts"] += 1
+            bucket["bytes"] += info.size_bytes
+            bucket["trials"] += info.trials
+        ages = [info.age_seconds(now) for info in infos]
+        return StoreStats(
+            artifacts=len(infos),
+            total_bytes=sum(i.size_bytes for i in infos),
+            trials=sum(i.trials for i in infos),
+            hit_artifacts=sum(1 for i in infos if i.hit),
+            stale_schema=sum(1 for i in infos if i.schema != SCHEMA_VERSION),
+            oldest_age_seconds=max(ages) if ages else 0.0,
+            newest_age_seconds=min(ages) if ages else 0.0,
+            by_tag=by_tag,
+        )
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> GCReport:
+        """Evict artifacts by age and/or total-size budget.
+
+        Policy, applied in order:
+
+        1. every artifact *older* than ``max_age_seconds`` (by creation
+           time, i.e. mtime — cache hits never extend an artifact's life)
+           is evicted;
+        2. if the survivors still exceed ``max_total_bytes``, the oldest
+           survivors are evicted until the store fits the budget.
+
+        With ``dry_run=True`` the same selection is computed and reported
+        but nothing is deleted.  Empty fan-out directories left behind by a
+        real pass are removed.
+        """
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ValueError(f"max_age_seconds must be >= 0, got {max_age_seconds}")
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise ValueError(f"max_total_bytes must be >= 0, got {max_total_bytes}")
+        now = time.time() if now is None else now
+        infos = self.artifacts()  # oldest first
+        evicted: List[ArtifactInfo] = []
+        kept: List[ArtifactInfo] = []
+        for info in infos:
+            if max_age_seconds is not None and info.age_seconds(now) > max_age_seconds:
+                evicted.append(info)
+            else:
+                kept.append(info)
+        if max_total_bytes is not None:
+            total = sum(i.size_bytes for i in kept)
+            cut = 0
+            while total > max_total_bytes and cut < len(kept):
+                # oldest-first eviction until the survivors fit the budget
+                total -= kept[cut].size_bytes
+                evicted.append(kept[cut])
+                cut += 1
+            kept = kept[cut:]
+        if not dry_run:
+            for info in evicted:
+                try:
+                    info.path.unlink()
+                except FileNotFoundError:
+                    pass
+            self._prune_empty_dirs()
+        return GCReport(
+            evicted=evicted,
+            kept=len(kept),
+            kept_bytes=sum(i.size_bytes for i in kept),
+            dry_run=dry_run,
+        )
+
+    def _prune_empty_dirs(self) -> None:
+        """Drop fan-out directories emptied by eviction (best-effort)."""
+        if not self.root.exists():
+            return
+        for sub in self.root.iterdir():
+            if sub.is_dir():
+                try:
+                    sub.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         if not self.root.exists():

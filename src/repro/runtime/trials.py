@@ -35,8 +35,14 @@ from ..churn.scheduler import ChurnScheduler
 from ..core.aggregation import AggregationMonitor, AggregationProtocol
 from ..core.base import EstimatorError
 from ..core.hops_sampling import HopsSamplingEstimator
+from ..core.random_tour import RandomTourEstimator
 from ..core.sample_collide import SampleCollideEstimator
-from ..overlay.builders import heterogeneous_random, scale_free
+from ..overlay.builders import (
+    heterogeneous_random,
+    homogeneous_random,
+    ring_lattice,
+    scale_free,
+)
 from ..overlay.graph import OverlayGraph
 from ..sim.rng import RngHub, derive_seed
 from ..sim.rounds import RoundDriver
@@ -47,6 +53,8 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "ESTIMATOR_BUILDERS",
+    "ESTIMATOR_RNG_BUILDERS",
+    "ESTIMATOR_STREAMS",
     "OVERLAY_BUILDERS",
     "TRIAL_KINDS",
     "run_chunk",
@@ -97,11 +105,20 @@ def _as_trace(value: Union[ChurnTrace, Sequence[Mapping[str, float]]]) -> ChurnT
 
 #: builder name -> callable(hub, **params) -> OverlayGraph.  Stream names
 #: match the historical runner code so spec-built overlays are identical to
-#: the ones the figure functions used to build inline.
+#: the ones the figure functions used to build inline.  Builders that take a
+#: ``stream`` parameter let callers reproduce experiments that historically
+#: drew the overlay from a non-default hub channel (the topology ablation
+#: uses "het"/"hom"); the default always matches the runner's lineage.
 OVERLAY_BUILDERS: Dict[str, Callable[..., OverlayGraph]] = {
-    "heterogeneous": lambda hub, n, max_degree=10, min_degree=1: heterogeneous_random(
-        n, max_degree=max_degree, min_degree=min_degree, rng=hub.stream("overlay")
+    "heterogeneous": lambda hub, n, max_degree=10, min_degree=1, stream="overlay": (
+        heterogeneous_random(
+            n, max_degree=max_degree, min_degree=min_degree, rng=hub.stream(stream)
+        )
     ),
+    "homogeneous": lambda hub, n, k=8, stream="overlay": homogeneous_random(
+        n, k=k, rng=hub.stream(stream)
+    ),
+    "ring_lattice": lambda hub, n, k=2: ring_lattice(n, k=k),
     "scale_free": lambda hub, n, m=3: scale_free(n, m=m, rng=hub.stream("overlay.sf")),
 }
 
@@ -130,13 +147,39 @@ class OverlaySpec:
 
     @classmethod
     def heterogeneous(
-        cls, n: int, max_degree: int = 10, min_degree: int = 1
+        cls,
+        n: int,
+        max_degree: int = 10,
+        min_degree: int = 1,
+        stream: str = "overlay",
     ) -> "OverlaySpec":
-        """The paper's standard heterogeneous random overlay."""
-        return cls(
-            "heterogeneous",
-            {"n": int(n), "max_degree": int(max_degree), "min_degree": int(min_degree)},
-        )
+        """The paper's standard heterogeneous random overlay.
+
+        ``stream`` names the hub channel the builder draws from; it is only
+        recorded (and only perturbs the content address) when it differs
+        from the historical default.
+        """
+        params = {
+            "n": int(n),
+            "max_degree": int(max_degree),
+            "min_degree": int(min_degree),
+        }
+        if stream != "overlay":
+            params["stream"] = stream
+        return cls("heterogeneous", params)
+
+    @classmethod
+    def homogeneous(cls, n: int, k: int = 8, stream: str = "overlay") -> "OverlaySpec":
+        """The §IV-A near-``k``-regular overlay (topology ablation)."""
+        params: Dict[str, Any] = {"n": int(n), "k": int(k)}
+        if stream != "overlay":
+            params["stream"] = stream
+        return cls("homogeneous", params)
+
+    @classmethod
+    def ring_lattice(cls, n: int, k: int = 2) -> "OverlaySpec":
+        """Deterministic worst-case-expansion ring (timer ablation)."""
+        return cls("ring_lattice", {"n": int(n), "k": int(k)})
 
     @classmethod
     def scale_free(cls, n: int, m: int = 3) -> "OverlaySpec":
@@ -144,21 +187,68 @@ class OverlaySpec:
         return cls("scale_free", {"n": int(n), "m": int(m)})
 
 
-#: estimator kind -> callable(graph, hub, **params).  Stream names ("sc",
-#: "hops") match the factories previously defined inline in the figure
-#: modules, preserving RNG lineage.
-ESTIMATOR_BUILDERS: Dict[str, Callable[..., Any]] = {
-    "sample_collide": lambda graph, hub, l=200, timer=10.0: SampleCollideEstimator(
-        graph, l=l, timer=timer, rng=hub.stream("sc")
+class _AggregationEpoch:
+    """One fixed-length Aggregation epoch wrapped as a one-shot estimator.
+
+    The topology ablation compares Aggregation head-to-head with the probe
+    estimators; this adapter gives ``AggregationProtocol(...).estimate(rounds=r)``
+    the same ``.estimate()`` surface the probe kinds expose.
+    """
+
+    def __init__(self, graph: OverlayGraph, rng, rounds: int = 50) -> None:
+        self._protocol = AggregationProtocol(graph, rng=rng)
+        self._rounds = int(rounds)
+
+    def estimate(self):
+        return self._protocol.estimate(rounds=self._rounds)
+
+
+#: estimator kind -> callable(graph, rng, **params) building the estimator
+#: from an *explicit* generator.  This is the primitive layer: the hub-based
+#: builders below and the ``fresh_probe`` trial kind (which must reproduce
+#: ``hub.fresh(name)`` lineages exactly) both construct through it.
+ESTIMATOR_RNG_BUILDERS: Dict[str, Callable[..., Any]] = {
+    "sample_collide": lambda graph, rng, l=200, timer=10.0: SampleCollideEstimator(
+        graph, l=l, timer=timer, rng=rng
     ),
-    "hops_sampling": lambda graph, hub, gossip_to=2, min_hops_reporting=5: (
+    "hops_sampling": lambda graph, rng, gossip_to=2, min_hops_reporting=5, oracle_distances=False: (
         HopsSamplingEstimator(
             graph,
             gossip_to=gossip_to,
             min_hops_reporting=min_hops_reporting,
-            rng=hub.stream("hops"),
+            oracle_distances=oracle_distances,
+            rng=rng,
         )
     ),
+    "random_tour": lambda graph, rng: RandomTourEstimator(graph, rng=rng),
+    "aggregation_epoch": lambda graph, rng, rounds=50: _AggregationEpoch(
+        graph, rng, rounds=rounds
+    ),
+}
+
+#: Hub channel each kind draws from when built via a hub.  "sc"/"hops"
+#: match the factories previously defined inline in the figure modules,
+#: preserving RNG lineage.
+ESTIMATOR_STREAMS: Dict[str, str] = {
+    "sample_collide": "sc",
+    "hops_sampling": "hops",
+    "random_tour": "rt",
+    "aggregation_epoch": "agg",
+}
+
+
+def _hub_builder(kind: str) -> Callable[..., Any]:
+    def build(graph: OverlayGraph, hub: RngHub, **params: Any) -> Any:
+        return ESTIMATOR_RNG_BUILDERS[kind](
+            graph, hub.stream(ESTIMATOR_STREAMS[kind]), **params
+        )
+
+    return build
+
+
+#: estimator kind -> callable(graph, hub, **params) (hub-stream lineage).
+ESTIMATOR_BUILDERS: Dict[str, Callable[..., Any]] = {
+    kind: _hub_builder(kind) for kind in ESTIMATOR_RNG_BUILDERS
 }
 
 
@@ -179,6 +269,14 @@ class EstimatorSpec:
         """Instantiate the estimator on ``graph`` drawing RNG from ``hub``."""
         return ESTIMATOR_BUILDERS[self.kind](graph, hub, **self.params)
 
+    def build_with_rng(self, graph: OverlayGraph, rng):
+        """Instantiate the estimator with an explicit generator.
+
+        Used by trial kinds that must reproduce a specific historical RNG
+        lineage (``fresh_probe`` derives one generator per repetition).
+        """
+        return ESTIMATOR_RNG_BUILDERS[self.kind](graph, rng, **self.params)
+
     def as_config(self) -> Dict[str, Any]:
         """Plain-dict form for content addressing."""
         return {"kind": self.kind, "params": dict(self.params)}
@@ -189,15 +287,30 @@ class EstimatorSpec:
 
     @classmethod
     def hops_sampling(
-        cls, gossip_to: int = 2, min_hops_reporting: int = 5
+        cls,
+        gossip_to: int = 2,
+        min_hops_reporting: int = 5,
+        oracle_distances: bool = False,
     ) -> "EstimatorSpec":
-        return cls(
-            "hops_sampling",
-            {
-                "gossip_to": int(gossip_to),
-                "min_hops_reporting": int(min_hops_reporting),
-            },
-        )
+        params = {
+            "gossip_to": int(gossip_to),
+            "min_hops_reporting": int(min_hops_reporting),
+        }
+        # Only recorded when enabled so pre-existing artifacts (hashed
+        # without the key) stay addressable.
+        if oracle_distances:
+            params["oracle_distances"] = True
+        return cls("hops_sampling", params)
+
+    @classmethod
+    def random_tour(cls) -> "EstimatorSpec":
+        """The §II random-walk baseline (cost-gap ablation)."""
+        return cls("random_tour", {})
+
+    @classmethod
+    def aggregation_epoch(cls, rounds: int = 50) -> "EstimatorSpec":
+        """One fixed-length Aggregation epoch as a one-shot estimate."""
+        return cls("aggregation_epoch", {"rounds": int(rounds)})
 
 
 # ----------------------------------------------------------------------
@@ -386,6 +499,55 @@ def _run_static_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
                 value=float(est.estimate().value),
                 true_size=float(graph.size),
                 stream=spec.stream,
+            )
+        )
+    return out
+
+
+def _scalar_meta(meta: Mapping[str, Any]) -> Dict[str, Any]:
+    """The JSON-safe scalar slice of an estimate's diagnostics."""
+    out: Dict[str, Any] = {}
+    for k, v in meta.items():
+        if isinstance(v, (np.integer, np.floating)):
+            v = v.item()
+        if isinstance(v, (bool, int, float, str)):
+            out[k] = v
+    return out
+
+
+def _run_fresh_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Repetition-style estimations with ``hub.fresh`` lineage (ablations).
+
+    The ablation tables historically drew one generator per repetition via
+    :meth:`~repro.sim.rng.RngHub.fresh`: the ``k``-th call for a name seeds
+    from ``derive_seed(hub_seed, f"{name}#{k}")``.  Here each spec's
+    ``index`` *is* that counter value and ``params["fresh_name"]`` the
+    stream label, so a batch reproduces the serial draws bit-for-bit in any
+    execution order and at any worker count.  Message cost and the scalar
+    diagnostics land in ``extra`` (``messages``, ``meta``) for the tables'
+    overhead columns.
+    """
+    first = specs[0]
+    graph = _chunk_graph(first)
+    out: List[TrialResult] = []
+    for spec in specs:
+        name = spec.params["fresh_name"]
+        if not isinstance(spec.estimator, EstimatorSpec):
+            raise TypeError("fresh_probe trials require an EstimatorSpec")
+        rng = np.random.default_rng(
+            derive_seed(spec.hub_seed, f"{name}#{spec.index}")
+        )
+        est = spec.estimator.build_with_rng(graph, rng).estimate()
+        out.append(
+            TrialResult(
+                index=spec.index,
+                value=float(est.value),
+                true_size=float(graph.size),
+                stream=spec.stream,
+                extra={
+                    "messages": int(est.messages),
+                    "meta": _scalar_meta(est.meta),
+                },
             )
         )
     return out
@@ -581,6 +743,7 @@ def _run_agg_dynamic(specs: Sequence[TrialSpec]) -> List[TrialResult]:
 #: trial kind -> chunk runner.  Extend to open new workloads.
 TRIAL_KINDS: Dict[str, Callable[[Sequence[TrialSpec]], List[TrialResult]]] = {
     "static_probe": _run_static_probe,
+    "fresh_probe": _run_fresh_probe,
     "dynamic_probe": _run_dynamic_probe,
     "multi_probe": _run_multi_probe,
     "agg_convergence": _run_agg_convergence,

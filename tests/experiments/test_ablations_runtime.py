@@ -1,0 +1,115 @@
+"""Serial-vs-parallel determinism of the runtime-ported ablation studies.
+
+Every ablation grid point runs as a cached ``fresh_probe`` batch; these
+tests pin the PR's core contract: ``runtime=None``, ``workers=1`` and
+``workers=4`` produce bit-identical tables, and a rerun against a warm
+store is served purely from cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    hops_min_reporting_sweep,
+    hops_oracle_bias,
+    random_tour_gap,
+    sc_cost_vs_l,
+    topology_comparison,
+)
+from repro.experiments.config import Scale
+from repro.experiments.timer_exp import sc_timer_sweep
+from repro.runtime import RuntimeOptions
+
+#: Tiny preset: large enough for every estimator to run, small enough for
+#: the whole matrix to stay in CI seconds.
+TINY = Scale(
+    name="tiny",
+    n_100k=400,
+    n_1m=800,
+    static_estimations=5,
+    static_estimations_1m=5,
+    aggregation_rounds=10,
+    aggregation_horizon=50,
+    dynamic_estimations=5,
+    restart_interval=10,
+)
+
+ABLATIONS = [
+    pytest.param(sc_cost_vs_l, {"ls": (10, 50), "repetitions": 3}, id="sc_l"),
+    pytest.param(hops_oracle_bias, {"repetitions": 3}, id="hops_oracle"),
+    pytest.param(random_tour_gap, {"repetitions": 3}, id="random_tour"),
+    pytest.param(
+        hops_min_reporting_sweep, {"values": (1, 5), "repetitions": 3}, id="min_hops"
+    ),
+    pytest.param(topology_comparison, {"repetitions": 3}, id="topology"),
+    pytest.param(
+        sc_timer_sweep, {"timers": (1.0, 5.0), "repetitions": 3}, id="sc_timer"
+    ),
+]
+
+
+@pytest.mark.parametrize("fn,kwargs", ABLATIONS)
+class TestDeterminism:
+    def test_parallel_matches_serial(self, fn, kwargs, tmp_path):
+        serial = fn(scale=TINY, seed=99, **kwargs)
+        parallel = fn(
+            scale=TINY,
+            seed=99,
+            runtime=RuntimeOptions.create(workers=4, cache_dir=tmp_path / "c"),
+            **kwargs,
+        )
+        # CSV is the bit-exact serialization (NaN cells compare as text)
+        assert parallel.to_csv() == serial.to_csv()
+        assert parallel.columns == serial.columns
+        assert parallel.title == serial.title
+
+    def test_warm_rerun_is_pure_cache_hit(self, fn, kwargs, tmp_path):
+        cache = tmp_path / "c"
+        runtime = RuntimeOptions.create(workers=1, cache_dir=cache)
+        first = fn(scale=TINY, seed=99, runtime=runtime, **kwargs)
+        artifacts = sorted(cache.glob("*/*.json"))
+        assert artifacts, "grid points must be cached"
+        mtimes = [p.stat().st_mtime_ns for p in artifacts]
+        again = fn(scale=TINY, seed=99, runtime=runtime, **kwargs)
+        assert again.to_csv() == first.to_csv()
+        # served from the store: no artifact rewritten
+        assert [p.stat().st_mtime_ns for p in sorted(cache.glob("*/*.json"))] == mtimes
+
+
+def test_one_artifact_per_grid_point(tmp_path):
+    cache = tmp_path / "c"
+    runtime = RuntimeOptions.create(workers=1, cache_dir=cache)
+    sc_cost_vs_l(scale=TINY, seed=5, ls=(10, 50, 100), repetitions=2, runtime=runtime)
+    assert len(list(cache.glob("*/*.json"))) == 3
+
+
+def test_extending_grid_reuses_existing_points(tmp_path):
+    cache = tmp_path / "c"
+    runtime = RuntimeOptions.create(workers=1, cache_dir=cache)
+    sc_cost_vs_l(scale=TINY, seed=5, ls=(10, 50), repetitions=2, runtime=runtime)
+    old = {p: p.stat().st_mtime_ns for p in cache.glob("*/*.json")}
+    sc_cost_vs_l(scale=TINY, seed=5, ls=(10, 50, 100), repetitions=2, runtime=runtime)
+    assert len(list(cache.glob("*/*.json"))) == 3
+    for path, mtime in old.items():
+        assert path.stat().st_mtime_ns == mtime  # warm points untouched
+
+
+def test_seed_perturbs_every_grid_point(tmp_path):
+    cache = tmp_path / "c"
+    runtime = RuntimeOptions.create(workers=1, cache_dir=cache)
+    sc_cost_vs_l(scale=TINY, seed=5, ls=(10,), repetitions=2, runtime=runtime)
+    sc_cost_vs_l(scale=TINY, seed=6, ls=(10,), repetitions=2, runtime=runtime)
+    # different seeds address different artifacts (cache-key semantics)
+    assert len(list(cache.glob("*/*.json"))) == 2
+
+
+def test_tags_recorded_per_study(tmp_path):
+    from repro.runtime import ResultsStore
+
+    cache = tmp_path / "c"
+    runtime = RuntimeOptions.create(workers=1, cache_dir=cache)
+    sc_cost_vs_l(scale=TINY, seed=5, ls=(10,), repetitions=2, runtime=runtime)
+    hops_oracle_bias(scale=TINY, seed=5, repetitions=2, runtime=runtime)
+    tags = {info.tag for info in ResultsStore(cache).artifacts()}
+    assert tags == {"ablation_sc_l", "ablation_hops_oracle"}

@@ -32,16 +32,9 @@ def stub_experiments(monkeypatch):
 
 class TestAllTarget:
     def test_all_runs_every_experiment(self, stub_experiments, capsys):
-        # the parser still validates against the real registry, so drive
-        # _run_one through main's loop with a synthetic namespace
-        parser_args = cli.build_parser().parse_args(["list"])  # placeholder
-        parser_args.target = "all"
-        parser_args.scale = "small"
-        parser_args.seed = 7
-        parser_args.csv_dir = None
-        parser_args.quiet = False
-        for name in sorted(cli.FIGURES) + sorted(cli.TABLES):
-            cli._run_one(name, parser_args)
+        # build_parser reads the (patched) registries at call time, so the
+        # stub targets parse like real ones
+        assert cli.main(["run", "all", "--scale", "small", "--seed", "7"]) == 0
         ran = [c[0] for c in stub_experiments]
         assert ran == ["figX", "tabX"]
         assert all(c[1] == "small" and c[2] == 7 for c in stub_experiments)
@@ -49,13 +42,7 @@ class TestAllTarget:
         assert "figX" in out and "tabX" in out
 
     def test_csv_written_for_each(self, stub_experiments, tmp_path, capsys):
-        args = cli.build_parser().parse_args(["list"])
-        args.target = "all"
-        args.scale = None
-        args.seed = None
-        args.csv_dir = tmp_path
-        args.quiet = True
-        for name in sorted(cli.FIGURES) + sorted(cli.TABLES):
-            cli._run_one(name, args)
+        argv = ["run", "all", "--csv-dir", str(tmp_path), "--quiet"]
+        assert cli.main(argv) == 0
         assert (tmp_path / "figX.csv").exists()
         assert (tmp_path / "tabX.csv").exists()

@@ -1,0 +1,118 @@
+"""End-to-end tests of the `repro-experiment cache ls|stats|gc` family."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.cli import _format_size, _parse_size, main
+
+
+@pytest.fixture
+def warm_cache(tmp_path, monkeypatch):
+    """A store holding one ablation's grid (one artifact per mode)."""
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    cache = tmp_path / "cache"
+    argv = ["run", "ablation_hops_oracle", "--cache-dir", str(cache), "--quiet"]
+    assert main(argv) == 0
+    assert main(argv) == 0  # rerun: pure cache hits
+    return cache
+
+
+class TestSizeParsing:
+    def test_units(self):
+        assert _parse_size("1500") == 1500
+        assert _parse_size("2k") == 2000
+        assert _parse_size("1.5MB") == 1_500_000
+        assert _parse_size("1GiB") == 2**30
+
+    def test_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("five bytes")
+
+    def test_format_roundtrip_readable(self):
+        assert _format_size(999) == "999B"
+        assert _format_size(2_100) == "2.1kB"
+        assert _format_size(3_400_000) == "3.4MB"
+
+
+class TestCacheLs:
+    def test_lists_artifacts_with_tags(self, warm_cache, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(warm_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "ablation_hops_oracle" in out
+        assert "2 artifact(s)" in out
+        assert "yes" in out  # the rerun registered as a hit
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_env_var_default(self, warm_cache, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(warm_cache))
+        assert main(["cache", "ls"]) == 0
+        assert "ablation_hops_oracle" in capsys.readouterr().out
+
+    def test_no_dir_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["cache", "ls"])
+
+
+class TestCacheStats:
+    def test_reports_totals_and_tags(self, warm_cache, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(warm_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts:      2" in out
+        assert "cached trials:  20" in out
+        assert "ablation_hops_oracle" in out
+        assert "hit artifacts:  2" in out
+
+
+class TestCacheGC:
+    def test_dry_run_deletes_nothing(self, warm_cache, capsys):
+        before = sorted(warm_cache.glob("*/*.json"))
+        assert main(
+            ["cache", "gc", "--cache-dir", str(warm_cache), "--max-size", "0",
+             "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would evict 2 artifact(s)" in out
+        assert sorted(warm_cache.glob("*/*.json")) == before
+
+    def test_age_gc_evicts_old_artifacts(self, warm_cache, capsys):
+        artifacts = sorted(warm_cache.glob("*/*.json"))
+        past = time.time() - 10 * 86400
+        os.utime(artifacts[0], (past, past))
+        assert main(
+            ["cache", "gc", "--cache-dir", str(warm_cache), "--max-age-days", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 artifact(s)" in out
+        assert not artifacts[0].exists()
+        assert artifacts[1].exists()
+
+    def test_size_gc_respects_budget(self, warm_cache):
+        assert main(
+            ["cache", "gc", "--cache-dir", str(warm_cache), "--max-size", "0"]
+        ) == 0
+        assert list(warm_cache.glob("*/*.json")) == []
+
+    def test_policy_required(self, warm_cache):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--cache-dir", str(warm_cache)])
+
+    def test_gc_then_rerun_recomputes(self, warm_cache, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(
+            ["cache", "gc", "--cache-dir", str(warm_cache), "--max-size", "0"]
+        ) == 0
+        argv = [
+            "run", "ablation_hops_oracle", "--cache-dir", str(warm_cache), "--quiet"
+        ]
+        assert main(argv) == 0
+        assert len(list(warm_cache.glob("*/*.json"))) == 2

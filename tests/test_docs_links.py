@@ -1,0 +1,48 @@
+"""The docs link checker: repo docs are clean, and breakage is detected."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from check_links import check_file, default_docs, iter_links  # noqa: E402
+
+
+def test_repo_docs_have_no_broken_links():
+    docs = default_docs(REPO_ROOT)
+    assert any(d.name == "README.md" for d in docs)
+    assert any(d.name == "ARCHITECTURE.md" for d in docs)
+    assert any(d.name == "EXPERIMENTS.md" for d in docs)
+    problems = [p for d in docs for p in check_file(d)]
+    assert problems == []
+
+
+def test_detects_broken_relative_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](nope/gone.md) and [ok](other.md)")
+    (tmp_path / "other.md").write_text("hi")
+    problems = check_file(doc)
+    assert len(problems) == 1
+    assert "nope/gone.md" in problems[0]
+
+
+def test_skips_external_and_anchor_links(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[a](https://example.org/x) [b](#section) [c](mailto:x@y.z)"
+    )
+    assert check_file(doc) == []
+
+
+def test_anchor_suffix_stripped(tmp_path):
+    doc = tmp_path / "doc.md"
+    (tmp_path / "other.md").write_text("hi")
+    doc.write_text("[ok](other.md#some-heading)")
+    assert check_file(doc) == []
+
+
+def test_iter_links_with_titles():
+    assert list(iter_links('[x](a.md "Title") and [y](b.md)')) == ["a.md", "b.md"]
