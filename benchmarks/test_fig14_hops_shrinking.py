@@ -13,7 +13,6 @@ from repro.experiments.dynamic import fig14_hops_shrinking
 def test_fig14(benchmark):
     fig = run_experiment(benchmark, fig14_hops_shrinking)
     real = fig.curve("Real network size").y
-    n = len(real)
     for k in (1, 2, 3):
         est = fig.curve(f"Estimation #{k}").y
         assert np.nanmean(est[-8:]) < np.nanmean(est[:8])  # falls with N

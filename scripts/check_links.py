@@ -43,8 +43,10 @@ def check_file(path: pathlib.Path) -> List[str]:
 
 
 def default_docs(root: pathlib.Path) -> List[pathlib.Path]:
-    """The documents the CI job validates."""
-    docs = [root / "README.md"]
+    """The documents the CI job validates: the user-facing root docs plus
+    everything under ``docs/`` (so a new doc is covered the moment it
+    lands)."""
+    docs = [root / "README.md", root / "ROADMAP.md", root / "CHANGES.md"]
     docs.extend(sorted((root / "docs").glob("*.md")))
     return [d for d in docs if d.exists()]
 

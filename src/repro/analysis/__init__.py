@@ -10,6 +10,11 @@ from .validation import (
     detect_convergence,
     variance_ratio_test,
 )
+from .trend_report import (
+    render_check_report,
+    render_comparison,
+    render_trend_report,
+)
 
 __all__ = [
     "BiasVerdict",
@@ -22,6 +27,9 @@ __all__ = [
     "FigureResult",
     "TableResult",
     "line_chart",
+    "render_check_report",
+    "render_comparison",
     "render_figure",
     "render_table",
+    "render_trend_report",
 ]

@@ -7,6 +7,10 @@ The CLI is organized in subcommands::
     repro-experiment cache ls                 # artifact table
     repro-experiment cache stats              # aggregate store metadata
     repro-experiment cache gc [--dry-run]     # age/size-based eviction
+    repro-experiment trends report            # cross-revision drift table
+    repro-experiment trends compare A B       # two revisions head-to-head
+    repro-experiment trends baseline          # emit a baseline JSON
+    repro-experiment trends check             # gate results vs a baseline
 
 Examples
 --------
@@ -28,6 +32,14 @@ Inspect and prune that cache::
     repro-experiment cache ls --cache-dir ~/.cache/repro
     repro-experiment cache gc --cache-dir ~/.cache/repro --max-age-days 30 --dry-run
 
+Track how the numbers move across git revisions, and gate a change against
+a committed baseline (see docs/TRENDS.md)::
+
+    repro-experiment trends report --cache-dir ci-trends/
+    repro-experiment trends compare abc1234 def5678 --cache-dir ci-trends/
+    repro-experiment trends baseline --cache-dir ci-trends/ --out baseline.json
+    repro-experiment trends check --baseline baseline.json --fail-on-drift
+
 ``repro-experiment fig1`` (the pre-subcommand form) still works: a bare
 target is rewritten to ``run <target>`` for backwards compatibility.
 """
@@ -35,6 +47,7 @@ target is rewritten to ``run <target>`` for backwards compatibility.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import re
@@ -44,7 +57,21 @@ from typing import List, Optional
 
 from ..analysis.ascii_chart import render_figure, render_table
 from ..analysis.curves import FigureResult, TableResult
+from ..analysis.trend_report import (
+    render_check_report,
+    render_comparison,
+    render_trend_report,
+)
 from ..runtime import LogProgress, ResultsStore, RuntimeOptions, supports_runtime
+from ..runtime.trends import (
+    DEFAULT_CHECK_METRICS,
+    TREND_METRICS,
+    check_baseline,
+    compare_revisions,
+    load_baseline,
+    make_baseline,
+    trend_report,
+)
 from . import FIGURES, TABLES
 from .config import SCALES
 
@@ -59,6 +86,14 @@ def _cache_dir(value: str) -> pathlib.Path:
         raise argparse.ArgumentTypeError(
             f"--cache-dir {value!r} exists and is not a directory"
         )
+    return path
+
+
+def _checked_dir(path: pathlib.Path, parser: argparse.ArgumentParser) -> pathlib.Path:
+    """The same up-front guard as :func:`_cache_dir` for paths that did not
+    come through argparse (the $REPRO_CACHE_DIR defaults)."""
+    if path.exists() and not path.is_dir():
+        parser.error(f"cache directory {str(path)!r} exists and is not a directory")
     return path
 
 
@@ -229,6 +264,149 @@ def _add_cache_parser(subparsers) -> None:
     )
 
 
+def _add_trends_parser(subparsers) -> None:
+    trends = subparsers.add_parser(
+        "trends",
+        help="track result drift across git revisions / seed sets",
+        description=(
+            "Join stored artifacts across git revisions and seed sets and "
+            "report drift in estimation quality, message overhead and "
+            "runtime.  Cross-revision history lives in sibling store "
+            "directories (one per revision) under a common parent; every "
+            "--cache-dir is searched recursively for stores.  See "
+            "docs/TRENDS.md for the baseline workflow."
+        ),
+    )
+    sub = trends.add_subparsers(dest="trends_command", required=True)
+
+    # Options are attached per-subcommand so nothing parses-but-ignores:
+    # 'baseline' always emits JSON (no render flags), 'check' gates against
+    # intervals frozen in the baseline (no --confidence).
+    def _dirs_and_metrics(p, metrics_default):
+        p.add_argument(
+            "--cache-dir",
+            action="append",
+            type=_cache_dir,
+            default=None,
+            dest="cache_dirs",
+            help=(
+                "store directory or parent of per-revision stores; "
+                "repeatable (default: $REPRO_CACHE_DIR)"
+            ),
+        )
+        p.add_argument(
+            "--metric",
+            action="append",
+            choices=sorted(TREND_METRICS),
+            default=None,
+            dest="metrics",
+            help=f"metric(s) to include (default: {', '.join(metrics_default)})",
+        )
+
+    def _confidence(p):
+        p.add_argument(
+            "--confidence",
+            type=float,
+            default=0.95,
+            help="bootstrap confidence level (default: 0.95)",
+        )
+
+    def _render_flags(p):
+        p.add_argument(
+            "--markdown",
+            action="store_true",
+            help="emit GitHub-flavoured markdown tables instead of ASCII",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of a table",
+        )
+
+    def _common(p, metrics_default):
+        _dirs_and_metrics(p, metrics_default)
+        _confidence(p)
+        _render_flags(p)
+
+    report = sub.add_parser(
+        "report",
+        help="per-experiment revision trajectories with drift verdicts",
+        description=(
+            "Group artifacts by logical experiment (tag + config minus "
+            "seeds), order each group's revisions by save time, and flag "
+            "metrics whose newest mean left the oldest revision's "
+            "bootstrap interval."
+        ),
+    )
+    _common(report, TREND_METRICS)
+
+    compare = sub.add_parser(
+        "compare",
+        help="two revisions head-to-head",
+        description=(
+            "Join every experiment present at both revisions and test "
+            "whether B's mean left A's bootstrap interval (unique "
+            "revision prefixes are accepted)."
+        ),
+    )
+    compare.add_argument("rev_a", help="reference revision (unique prefix ok)")
+    compare.add_argument("rev_b", help="candidate revision (unique prefix ok)")
+    _common(compare, TREND_METRICS)
+
+    baseline = sub.add_parser(
+        "baseline",
+        help="emit a baseline JSON for 'trends check'",
+        description=(
+            "Serialize each experiment's bootstrap interval at its newest "
+            "(or --revision) revision into a JSON document to commit; "
+            "'trends check' gates future runs against it."
+        ),
+    )
+    _dirs_and_metrics(baseline, DEFAULT_CHECK_METRICS)
+    _confidence(baseline)
+    baseline.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the baseline here (default: stdout)",
+    )
+    baseline.add_argument(
+        "--revision",
+        default=None,
+        help="pin the baseline to this revision (default: newest per group)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="gate current results against a committed baseline",
+        description=(
+            "Recompute each baselined experiment's current mean and fail "
+            "it when the mean falls outside the baseline's bootstrap "
+            "interval (drift) or when the experiment has no current "
+            "artifacts (missing).  With --fail-on-drift the exit status "
+            "is nonzero when anything fails — the CI regression gate."
+        ),
+    )
+    check.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        required=True,
+        help="baseline JSON produced by 'trends baseline'",
+    )
+    check.add_argument(
+        "--revision",
+        default=None,
+        help="check artifacts of this revision (default: newest per group)",
+    )
+    check.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit nonzero when any metric drifts or goes missing",
+    )
+    _dirs_and_metrics(check, DEFAULT_CHECK_METRICS)
+    _render_flags(check)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -243,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     subparsers.add_parser("list", help="print the experiment catalogue")
     _add_cache_parser(subparsers)
+    _add_trends_parser(subparsers)
     return parser
 
 
@@ -300,7 +479,7 @@ def _resolve_store(args, parser: argparse.ArgumentParser) -> ResultsStore:
     if cache_dir is None:
         env = os.environ.get("REPRO_CACHE_DIR")
         if env:
-            cache_dir = pathlib.Path(env)
+            cache_dir = _checked_dir(pathlib.Path(env), parser)
     if cache_dir is None:
         parser.error("no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR")
     return ResultsStore(cache_dir)
@@ -378,6 +557,192 @@ def _cmd_cache_gc(store: ResultsStore, args, parser: argparse.ArgumentParser) ->
     return 0
 
 
+def _resolve_trend_roots(args, parser: argparse.ArgumentParser) -> List[pathlib.Path]:
+    roots = list(args.cache_dirs or ())
+    if not roots:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            roots = [_checked_dir(pathlib.Path(env), parser)]
+    if not roots:
+        parser.error(
+            "no store directories: pass --cache-dir (repeatable) or set "
+            "$REPRO_CACHE_DIR"
+        )
+    return roots
+
+
+def _point_json(point) -> dict:
+    return {
+        "revision": point.revision,
+        "mean": point.ci.mean,
+        "lower": point.ci.lower,
+        "upper": point.ci.upper,
+        "samples": point.samples,
+        "artifacts": point.artifacts,
+    }
+
+
+def _report_json(report) -> dict:
+    return {
+        "stores": [str(s) for s in report.stores],
+        "records": report.records,
+        "drifted": report.drifted,
+        "groups": [
+            {
+                "tag": g.tag,
+                "group": g.group,
+                "trials": g.trials,
+                "revisions": g.revisions,
+                "drifted": g.drifted,
+                "metrics": [
+                    {
+                        "metric": m.metric,
+                        "drifted": m.drifted,
+                        "delta": m.delta,
+                        "variance_ratio": m.variance_ratio,
+                        "noisier": m.noisier,
+                        "points": [_point_json(p) for p in m.points],
+                    }
+                    for m in g.metrics
+                ],
+            }
+            for g in report.groups
+        ],
+    }
+
+
+def _comparison_json(comparisons, rev_a: str, rev_b: str) -> dict:
+    return {
+        "rev_a": rev_a,
+        "rev_b": rev_b,
+        "drifted": any(c.drifted for c in comparisons),
+        "comparisons": [
+            {
+                "tag": c.tag,
+                "group": c.group,
+                "metric": c.metric,
+                "a": _point_json(c.a),
+                "b": _point_json(c.b),
+                "delta": c.delta,
+                "drifted": c.drifted,
+                "variance_ratio": c.variance_ratio,
+                "noisier": c.noisier,
+            }
+            for c in comparisons
+        ],
+    }
+
+
+def _check_json(check) -> dict:
+    return {
+        "revision": check.revision,
+        "ok": check.ok,
+        "outcomes": [
+            {
+                "tag": o.tag,
+                "group": o.group,
+                "metric": o.metric,
+                "status": o.status,
+                "baseline": {
+                    "mean": o.baseline_mean,
+                    "lower": o.baseline_lower,
+                    "upper": o.baseline_upper,
+                },
+                "observed_mean": o.observed_mean,
+                "observed_samples": o.observed_samples,
+                "revision": o.revision,
+            }
+            for o in check.outcomes
+        ],
+        "new_groups": [
+            {"tag": tag, "group": group} for tag, group in check.new_groups
+        ],
+    }
+
+
+def _emit_json(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _cmd_trends(args, parser: argparse.ArgumentParser) -> int:
+    roots = _resolve_trend_roots(args, parser)
+    cmd = args.trends_command
+    if cmd == "report":
+        report = trend_report(
+            roots,
+            metrics=args.metrics or TREND_METRICS,
+            confidence=args.confidence,
+        )
+        if args.json:
+            _emit_json(_report_json(report))
+        else:
+            sys.stdout.write(render_trend_report(report, markdown=args.markdown))
+        return 0
+    if cmd == "compare":
+        try:
+            comparisons = compare_revisions(
+                roots,
+                args.rev_a,
+                args.rev_b,
+                metrics=args.metrics or TREND_METRICS,
+                confidence=args.confidence,
+            )
+        except ValueError as exc:
+            sys.stderr.write(f"trends compare: {exc}\n")
+            return 2
+        if args.json:
+            _emit_json(_comparison_json(comparisons, args.rev_a, args.rev_b))
+        else:
+            sys.stdout.write(
+                render_comparison(
+                    comparisons, args.rev_a, args.rev_b, markdown=args.markdown
+                )
+            )
+        return 0
+    if cmd == "baseline":
+        try:
+            doc = make_baseline(
+                roots,
+                revision=args.revision,
+                metrics=args.metrics or DEFAULT_CHECK_METRICS,
+                confidence=args.confidence,
+            )
+        except ValueError as exc:
+            sys.stderr.write(f"trends baseline: {exc}\n")
+            return 2
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text)
+            sys.stdout.write(
+                f"wrote baseline for {len(doc['groups'])} group(s) to {args.out}\n"
+            )
+        else:
+            sys.stdout.write(text)
+        return 0
+    # check
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"trends check: {exc}\n")
+        return 2
+    try:
+        check = check_baseline(
+            roots, baseline, revision=args.revision, metrics=args.metrics
+        )
+    except ValueError as exc:
+        sys.stderr.write(f"trends check: {exc}\n")
+        return 2
+    if args.json:
+        _emit_json(_check_json(check))
+    else:
+        sys.stdout.write(render_check_report(check, markdown=args.markdown))
+    if not check.ok and args.fail_on_drift:
+        return 1
+    return 0
+
+
 #: Bare targets accepted for backwards compatibility with the
 #: pre-subcommand CLI (``repro-experiment fig1``).
 _LEGACY_TARGETS = frozenset(FIGURES) | frozenset(TABLES) | {"all"}
@@ -388,10 +753,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # The pre-subcommand parser accepted optionals before the target
     # ("--scale small fig1"), so rewrite whenever a bare target appears
-    # anywhere and no subcommand was given.
+    # and the leading token is not already a subcommand.  Only the first
+    # token can be the subcommand, so later arguments that merely *equal* a
+    # subcommand name ("--csv-dir cache") must not suppress the rewrite.
     if (
         argv
-        and not any(a in ("run", "list", "cache") for a in argv)
+        and argv[0] not in ("run", "list", "cache", "trends")
         and any(a in _LEGACY_TARGETS for a in argv)
     ):
         argv = ["run"] + argv
@@ -400,7 +767,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
+        if args.cache_dir is not None:
+            # --cache-dir went through _cache_dir; this re-check covers the
+            # $REPRO_CACHE_DIR default, which bypasses argparse validation.
+            _checked_dir(args.cache_dir, parser)
         return _cmd_run(args)
+    if args.command == "trends":
+        return _cmd_trends(args, parser)
     # cache family
     store = _resolve_store(args, parser)
     if args.cache_command == "ls":

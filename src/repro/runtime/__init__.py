@@ -28,6 +28,7 @@ from .api import (
 )
 from .pool import TrialExecutor, chunk_specs
 from .progress import LogProgress, NullProgress, ProgressReporter, TelemetryCollector
+from .provenance import detect_git_revision, metric_values, summarize_results
 from .store import (
     ArtifactInfo,
     GCReport,
@@ -36,6 +37,22 @@ from .store import (
     StoreStats,
     canonical_json,
     content_key,
+    group_key,
+)
+from .trends import (
+    CheckReport,
+    GroupTrend,
+    MetricComparison,
+    MetricTrend,
+    TrendRecord,
+    TrendReport,
+    check_baseline,
+    compare_revisions,
+    discover_stores,
+    load_baseline,
+    make_baseline,
+    scan_stores,
+    trend_report,
 )
 from .trials import (
     EstimatorSpec,
@@ -49,9 +66,13 @@ from .trials import (
 
 __all__ = [
     "ArtifactInfo",
+    "CheckReport",
     "EstimatorSpec",
     "GCReport",
+    "GroupTrend",
     "LogProgress",
+    "MetricComparison",
+    "MetricTrend",
     "StoreStats",
     "NullProgress",
     "OverlaySpec",
@@ -60,18 +81,31 @@ __all__ = [
     "RuntimeOptions",
     "SCHEMA_VERSION",
     "TelemetryCollector",
+    "TrendRecord",
+    "TrendReport",
     "TrialExecutor",
     "TrialResult",
     "TrialSpec",
     "batch_config",
     "canonical_json",
+    "check_baseline",
     "chunk_specs",
+    "compare_revisions",
     "content_key",
+    "detect_git_revision",
+    "discover_stores",
+    "group_key",
+    "load_baseline",
+    "make_baseline",
+    "metric_values",
     "run_chunk",
     "run_trials",
+    "scan_stores",
     "series_from_results",
+    "summarize_results",
     "supports_runtime",
     "sweep",
     "trace_from_payload",
     "trace_to_payload",
+    "trend_report",
 ]

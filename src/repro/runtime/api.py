@@ -12,12 +12,14 @@ from __future__ import annotations
 import inspect
 import os
 import pathlib
+import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..sim.metrics import EstimateSeries
 from .pool import TrialExecutor
 from .progress import NullProgress, ProgressReporter
+from .provenance import detect_git_revision, summarize_results
 from .store import ResultsStore
 from .trials import TrialResult, TrialSpec
 
@@ -61,6 +63,10 @@ class RuntimeOptions:
     #: Human experiment label written into artifact meta (``cache ls``
     #: displays it).  Display-only: never part of the content address.
     tag: Optional[str] = None
+    #: Git revision recorded in artifact headers for trend tracking.
+    #: ``None`` auto-detects ($REPRO_GIT_REVISION, then ``git rev-parse``);
+    #: like ``tag``, provenance only — never part of the content address.
+    revision: Optional[str] = None
 
     @classmethod
     def create(
@@ -71,6 +77,7 @@ class RuntimeOptions:
         progress: Optional[ProgressReporter] = None,
         chunk_size: Optional[int] = None,
         tag: Optional[str] = None,
+        revision: Optional[str] = None,
     ) -> "RuntimeOptions":
         """Convenience constructor mapping CLI-level values to options."""
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
@@ -81,6 +88,7 @@ class RuntimeOptions:
             force=force,
             progress=progress,
             tag=tag,
+            revision=revision,
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
@@ -158,12 +166,29 @@ def run_trials(
     executor = TrialExecutor(
         workers=workers, chunk_size=chunk_size, progress=progress
     )
+    started = time.perf_counter()
     results = executor.run(specs)
+    elapsed = time.perf_counter() - started
     if store is not None and config is not None:
+        # Header provenance for the trend tracker: which code computed the
+        # batch, its logical-experiment group, and a scalar metric summary
+        # (quality/messages from the results, runtime measured here — the
+        # only place the compute is actually timed).
+        metrics: Dict[str, Any] = dict(summarize_results(results))
+        metrics["elapsed_seconds"] = elapsed
         store.save(
             config,
             results,
-            meta={"trials": len(specs), "tag": tag or specs[0].kind},
+            meta={
+                "trials": len(specs),
+                "tag": tag or specs[0].kind,
+                "git_revision": (
+                    runtime.revision
+                    if runtime.revision is not None
+                    else detect_git_revision()
+                ),
+                "metrics": metrics,
+            },
         )
     return results
 

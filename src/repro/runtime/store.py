@@ -53,6 +53,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Union
 
+from .provenance import detect_git_revision, summarize_results
 from .trials import TrialResult
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "StoreStats",
     "canonical_json",
     "content_key",
+    "group_key",
 ]
 
 #: Bump when the artifact layout or the meaning of a config changes.
@@ -122,6 +124,28 @@ def content_key(config: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Config keys that identify a *sampling* of an experiment rather than the
+#: experiment itself; removed before hashing the logical-experiment group.
+_SEED_KEYS = frozenset({"hub_seed", "overlay_seed"})
+
+
+def group_key(config: Any) -> str:
+    """Identity of the *logical experiment* behind a configuration.
+
+    The SHA-256 of the config with its seed fields removed (and, unlike
+    :func:`content_key`, without the schema version mixed in): artifacts
+    produced at different seeds — or by differently-seeded CI runs — share
+    a group, which is what lets the trend tracker join them across git
+    revisions.  Changing any substantive parameter (overlay size, estimator
+    settings, trial count) still changes the group.
+    """
+    normalized = _normalize(config)
+    if isinstance(normalized, dict):
+        normalized = {k: v for k, v in normalized.items() if k not in _SEED_KEYS}
+    payload = canonical_json(normalized)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class ArtifactInfo:
     """Metadata of one on-disk artifact (one cached experiment batch).
@@ -130,6 +154,11 @@ class ArtifactInfo:
     read); ``last_access`` its atime (bumped on every cache hit).  ``tag``
     is the human experiment label recorded in the artifact's meta block —
     display-only, never part of the content address.
+
+    ``revision``/``group``/``saved_at``/``metrics`` are the provenance
+    fields the trend tracker joins on; artifacts written before they
+    existed enumerate with empty defaults (reads stay backward
+    compatible).
     """
 
     key: str
@@ -140,6 +169,16 @@ class ArtifactInfo:
     tag: str = ""
     trials: int = 0
     schema: Optional[int] = None
+    #: Git commit the producing code was at ("" when unknown).
+    revision: str = ""
+    #: Logical-experiment identity (:func:`group_key`; "" on old artifacts).
+    group: str = ""
+    #: Wall-clock of the save (0.0 on old artifacts; survives mtime games).
+    saved_at: float = 0.0
+    #: Scalar metric summary: per-metric ``{mean, std, min, max, n}``
+    #: blocks from :func:`summarize_results` plus batch-level scalars the
+    #: producer adds (``elapsed_seconds`` from :func:`run_trials`).
+    metrics: Optional[Dict[str, Any]] = None
 
     def age_seconds(self, now: Optional[float] = None) -> float:
         """Seconds since the artifact was written (or force-refreshed)."""
@@ -214,15 +253,29 @@ class ResultsStore:
         results: List[TrialResult],
         meta: Optional[Dict[str, Any]] = None,
     ) -> pathlib.Path:
-        """Persist ``results`` under the content address of ``config``."""
+        """Persist ``results`` under the content address of ``config``.
+
+        The header (schema + meta) is self-describing for trend tracking:
+        ``git_revision``, ``store_schema_version``, ``group``, ``saved_at``
+        and a scalar ``metrics`` summary are stamped in automatically when
+        the caller hasn't provided them, so *every* save — not only those
+        routed through :func:`~repro.runtime.api.run_trials` — yields an
+        artifact the trend tracker can join on without parsing results.
+        """
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
+        meta = dict(meta or {})
+        meta.setdefault("git_revision", detect_git_revision())
+        meta.setdefault("store_schema_version", SCHEMA_VERSION)
+        meta.setdefault("group", group_key(config))
+        meta.setdefault("saved_at", time.time())
+        meta.setdefault("metrics", summarize_results(results))
         # Key order matters: schema and meta lead the document so that
         # artifacts() can enumerate a large store by reading bounded
         # prefixes instead of parsing every results payload.
         artifact = {
             "schema": SCHEMA_VERSION,
-            "meta": meta or {},
+            "meta": meta,
             "config": _normalize(config),
             "results": _encode_floats([r.as_dict() for r in results]),
         }
@@ -355,6 +408,13 @@ class ResultsStore:
             meta = artifact.get("meta")
             if not isinstance(meta, Mapping):
                 meta = {}
+            metrics = meta.get("metrics")
+            if not isinstance(metrics, Mapping):
+                metrics = None
+            try:
+                saved_at = float(meta.get("saved_at", 0.0) or 0.0)
+            except (TypeError, ValueError):
+                saved_at = 0.0
             out.append(
                 ArtifactInfo(
                     key=path.stem,
@@ -365,6 +425,10 @@ class ResultsStore:
                     tag=str(meta.get("tag", "")),
                     trials=int(meta.get("trials", 0) or 0),
                     schema=artifact.get("schema"),
+                    revision=str(meta.get("git_revision", "") or ""),
+                    group=str(meta.get("group", "") or ""),
+                    saved_at=saved_at,
+                    metrics=dict(metrics) if metrics else None,
                 )
             )
         out.sort(key=lambda a: (a.created, a.key))

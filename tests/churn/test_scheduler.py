@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.churn.models import ChurnEvent, ChurnTrace, shrinking_trace
 from repro.churn.scheduler import ChurnScheduler

@@ -9,13 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.config import Scale
-from repro.overlay.builders import (
-    erdos_renyi,
-    heterogeneous_random,
-    homogeneous_random,
-    ring_lattice,
-    scale_free,
-)
+from repro.overlay.builders import heterogeneous_random, scale_free
 from repro.overlay.graph import OverlayGraph
 from repro.sim.rng import RngHub
 

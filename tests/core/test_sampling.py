@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from scipy import stats
 
-from repro.core.sampling import UniformWalkSampler, WalkBatch
+from repro.core.sampling import UniformWalkSampler
 from repro.overlay.builders import heterogeneous_random, ring_lattice, scale_free
 from repro.overlay.graph import OverlayGraph
 from repro.sim.messages import MessageKind, MessageMeter

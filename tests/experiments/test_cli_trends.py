@@ -1,0 +1,224 @@
+"""CLI surface of the trends family: parsing, rendering, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.runtime import ResultsStore, TrialResult
+
+CONFIG = {"kind": "static_probe", "hub_seed": 1, "n": 100, "trials": [[1, 0], [2, 0]]}
+
+
+def _save(root, values, revision, tag="exp", saved_at=1.0, seed=1):
+    ResultsStore(root).save(
+        dict(CONFIG, hub_seed=seed),
+        [TrialResult(index=i, value=float(v), true_size=100.0) for i, v in enumerate(values, 1)],
+        meta={
+            "trials": len(values),
+            "tag": tag,
+            "git_revision": revision,
+            "saved_at": saved_at,
+        },
+    )
+
+
+@pytest.fixture()
+def two_revisions(tmp_path):
+    _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="aaaa1111", saved_at=1.0)
+    _save(tmp_path / "revB", [138, 141, 140, 139, 142], revision="bbbb2222", saved_at=2.0)
+    return tmp_path
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["trends", "--help"],
+            ["trends", "report", "--help"],
+            ["trends", "compare", "--help"],
+            ["trends", "baseline", "--help"],
+            ["trends", "check", "--help"],
+        ],
+    )
+    def test_help_smoke(self, argv):
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 0
+
+    def test_requires_cache_dir(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit) as err:
+            main(["trends", "report"])
+        assert err.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_env_cache_dir(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["trends", "report"]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_drift_table(self, two_revisions, capsys):
+        assert main(["trends", "report", "--cache-dir", str(two_revisions)]) == 0
+        out = capsys.readouterr().out
+        assert "aaaa1111" in out and "bbbb2222" in out
+        assert "DRIFT" in out
+        assert "1 drifted" in out
+
+    def test_json_output(self, two_revisions, capsys):
+        assert main(
+            ["trends", "report", "--cache-dir", str(two_revisions), "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["drifted"] is True
+        (group,) = doc["groups"]
+        assert group["revisions"] == ["aaaa1111", "bbbb2222"]
+
+    def test_markdown_output(self, two_revisions, capsys):
+        assert main(
+            ["trends", "report", "--cache-dir", str(two_revisions), "--markdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "| METRIC |" in out
+
+    def test_metric_filter(self, two_revisions, capsys):
+        assert main(
+            [
+                "trends",
+                "report",
+                "--cache-dir",
+                str(two_revisions),
+                "--metric",
+                "messages",
+            ]
+        ) == 0
+        # no messages metric in these artifacts -> no groups survive
+        out = capsys.readouterr().out
+        assert "quality" not in out
+
+
+class TestCompare:
+    def test_compare_prefixes(self, two_revisions, capsys):
+        assert main(
+            ["trends", "compare", "aaaa", "bbbb", "--cache-dir", str(two_revisions)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+
+    def test_unknown_revision_exit_2(self, two_revisions, capsys):
+        assert main(
+            ["trends", "compare", "aaaa", "zzzz", "--cache-dir", str(two_revisions)]
+        ) == 2
+        assert "no artifacts at revision" in capsys.readouterr().err
+
+
+class TestBaselineAndCheck:
+    def test_baseline_to_stdout(self, two_revisions, capsys):
+        assert main(
+            [
+                "trends",
+                "baseline",
+                "--cache-dir",
+                str(two_revisions / "revA"),
+            ]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["baseline_schema"] == 1
+        assert len(doc["groups"]) == 1
+
+    def test_check_ok_exit_0(self, two_revisions, tmp_path_factory, capsys):
+        out_file = tmp_path_factory.mktemp("base") / "base.json"
+        main(
+            [
+                "trends",
+                "baseline",
+                "--cache-dir",
+                str(two_revisions / "revA"),
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert main(
+            [
+                "trends",
+                "check",
+                "--baseline",
+                str(out_file),
+                "--cache-dir",
+                str(two_revisions / "revA"),
+                "--fail-on-drift",
+            ]
+        ) == 0
+
+    def test_check_drift_exit_codes(self, two_revisions, tmp_path_factory, capsys):
+        out_file = tmp_path_factory.mktemp("base") / "base.json"
+        main(
+            [
+                "trends",
+                "baseline",
+                "--cache-dir",
+                str(two_revisions / "revA"),
+                "--out",
+                str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        # whole parent: newest revision (bbbb) drifted -> reported...
+        argv = [
+            "trends",
+            "check",
+            "--baseline",
+            str(out_file),
+            "--cache-dir",
+            str(two_revisions),
+        ]
+        assert main(argv) == 0  # ...but exit 0 without the gate flag
+        assert "drift" in capsys.readouterr().out
+        # with the gate flag the same drift is a failing exit
+        assert main(argv + ["--fail-on-drift"]) == 1
+
+    def test_check_bad_baseline_exit_2(self, two_revisions, tmp_path_factory, capsys):
+        bad = tmp_path_factory.mktemp("base") / "bad.json"
+        bad.write_text("{}")
+        assert main(
+            [
+                "trends",
+                "check",
+                "--baseline",
+                str(bad),
+                "--cache-dir",
+                str(two_revisions),
+            ]
+        ) == 2
+
+    def test_check_json(self, two_revisions, tmp_path_factory, capsys):
+        out_file = tmp_path_factory.mktemp("base") / "base.json"
+        main(
+            [
+                "trends",
+                "baseline",
+                "--cache-dir",
+                str(two_revisions / "revA"),
+                "--out",
+                str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "trends",
+                "check",
+                "--baseline",
+                str(out_file),
+                "--cache-dir",
+                str(two_revisions),
+                "--json",
+            ]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["outcomes"][0]["status"] == "drift"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.config import SCALES, ExperimentConfig, Scale, resolve_scale
+from repro.experiments.config import SCALES, ExperimentConfig, resolve_scale
 
 
 class TestResolveScale:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.overlay.graph import CsrView, GraphError, OverlayGraph
+from repro.overlay.graph import GraphError, OverlayGraph
 
 
 class TestConstruction:

@@ -1,0 +1,262 @@
+"""Trend tracking: provenance headers, cross-revision joins, drift, baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import ResultsStore, TrialResult, group_key
+from repro.runtime.trends import (
+    UNKNOWN_REVISION,
+    check_baseline,
+    compare_revisions,
+    discover_stores,
+    load_baseline,
+    make_baseline,
+    scan_stores,
+    trend_report,
+)
+
+CONFIG = {"kind": "static_probe", "hub_seed": 1, "n": 100, "trials": [[1, 0], [2, 0]]}
+
+
+def _results(values, true_size=100.0, messages=None):
+    out = []
+    for i, v in enumerate(values, 1):
+        extra = {"messages": messages[i - 1]} if messages else None
+        out.append(
+            TrialResult(index=i, value=float(v), true_size=true_size, extra=extra)
+        )
+    return out
+
+
+def _save(root, values, revision, seed=1, tag="exp", saved_at=None, messages=None):
+    """One artifact with pinned provenance (no reliance on git/wall-clock)."""
+    store = ResultsStore(root)
+    config = dict(CONFIG, hub_seed=seed)
+    meta = {"trials": len(values), "tag": tag, "git_revision": revision}
+    if saved_at is not None:
+        meta["saved_at"] = saved_at
+    return store.save(config, _results(values, messages=messages), meta=meta)
+
+
+class TestGroupKey:
+    def test_ignores_seed_fields(self):
+        a = group_key(dict(CONFIG, hub_seed=1))
+        b = group_key(dict(CONFIG, hub_seed=2, overlay_seed=99))
+        assert a == b
+
+    def test_sensitive_to_substantive_params(self):
+        assert group_key(CONFIG) != group_key(dict(CONFIG, n=200))
+        assert group_key(CONFIG) != group_key(dict(CONFIG, kind="fresh_probe"))
+
+    def test_non_mapping_config(self):
+        # degenerate configs still hash (nothing to strip)
+        assert group_key([1, 2, 3]) == group_key([1, 2, 3])
+
+
+class TestProvenanceHeaders:
+    def test_save_stamps_provenance(self, tmp_path):
+        _save(tmp_path, [99, 101, 100], revision="cafe1234", saved_at=1000.0)
+        (info,) = ResultsStore(tmp_path).artifacts()
+        assert info.revision == "cafe1234"
+        assert info.group == group_key(CONFIG)
+        assert info.saved_at == 1000.0
+        assert info.metrics["quality"]["n"] == 3
+        assert info.metrics["quality"]["mean"] == pytest.approx(100.0)
+
+    def test_save_defaults_schema_and_group(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.save(CONFIG, _results([100.0]))
+        header = json.loads(path.read_text())["meta"]
+        assert header["store_schema_version"] == 1
+        assert header["group"] == group_key(CONFIG)
+        assert header["saved_at"] > 0
+        assert "git_revision" in header
+
+    def test_caller_meta_wins(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.save(
+            CONFIG, _results([100.0]), meta={"git_revision": "pinned", "metrics": {}}
+        )
+        header = json.loads(path.read_text())["meta"]
+        assert header["git_revision"] == "pinned"
+        assert header["metrics"] == {}
+
+
+class TestDiscoverStores:
+    def test_direct_store(self, tmp_path):
+        _save(tmp_path / "store", [100], revision="r1")
+        assert discover_stores(tmp_path / "store") == [tmp_path / "store"]
+
+    def test_parent_of_revision_stores(self, tmp_path):
+        _save(tmp_path / "revA", [100], revision="a")
+        _save(tmp_path / "revB", [100], revision="b", seed=2)
+        assert discover_stores(tmp_path) == [tmp_path / "revA", tmp_path / "revB"]
+
+    def test_empty_directory(self, tmp_path):
+        assert discover_stores(tmp_path) == []
+
+
+class TestScanStores:
+    def test_joins_across_sibling_stores(self, tmp_path):
+        _save(tmp_path / "revA", [100, 100], revision="a", saved_at=1.0)
+        _save(tmp_path / "revB", [100, 100], revision="b", saved_at=2.0)
+        records = scan_stores([tmp_path])
+        assert len(records) == 2
+        assert {r.revision for r in records} == {"a", "b"}
+        # identical config in two stores -> same group, distinct uids
+        assert len({r.group for r in records}) == 1
+        assert len({r.uid for r in records}) == 2
+
+    def test_legacy_artifact_backfilled(self, tmp_path):
+        """Artifacts saved before provenance headers still join (group and
+        metrics recovered from the payload, revision unknown)."""
+        path = tmp_path / "ab" / ("a" * 64 + ".json")
+        path.parent.mkdir(parents=True)
+        artifact = {
+            "schema": 1,
+            "meta": {"trials": 2, "tag": "old"},
+            "config": dict(CONFIG),
+            "results": [r.as_dict() for r in _results([90.0, 110.0])],
+        }
+        path.write_text(json.dumps(artifact))
+        (record,) = scan_stores([tmp_path])
+        assert record.revision == UNKNOWN_REVISION
+        assert record.group == group_key(CONFIG)
+        assert record.metrics["quality"]["n"] == 2
+
+    def test_corrupt_artifact_skipped(self, tmp_path):
+        _save(tmp_path, [100], revision="a")
+        bad = tmp_path / "cd" / ("c" * 64 + ".json")
+        bad.parent.mkdir(parents=True)
+        bad.write_text('{"schema": 1, "meta": {}, "config": {1: }')
+        assert len(scan_stores([tmp_path])) == 1
+
+
+class TestTrendReport:
+    def test_no_drift_when_values_identical(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="a", saved_at=1.0)
+        _save(tmp_path / "revB", [98, 101, 100, 99, 102], revision="b", saved_at=2.0)
+        report = trend_report([tmp_path], metrics=("quality",))
+        (group,) = report.groups
+        assert group.revisions == ["a", "b"]
+        (metric,) = group.metrics
+        assert metric.metric == "quality"
+        assert not metric.drifted
+        assert metric.delta == pytest.approx(0.0)
+        assert not report.drifted
+
+    def test_drift_fires_on_shift(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="a", saved_at=1.0)
+        _save(tmp_path / "revB", [138, 141, 140, 139, 142], revision="b", saved_at=2.0)
+        report = trend_report([tmp_path], metrics=("quality",))
+        (metric,) = report.groups[0].metrics
+        assert metric.drifted
+        assert metric.delta == pytest.approx(40.0)
+        assert report.drifted
+
+    def test_seed_sets_pool_within_revision(self, tmp_path):
+        _save(tmp_path, [99, 100], revision="a", seed=1, saved_at=1.0)
+        _save(tmp_path, [100, 101], revision="a", seed=2, saved_at=1.5)
+        report = trend_report([tmp_path], metrics=("quality",))
+        (group,) = report.groups
+        (point,) = group.metrics[0].points
+        assert point.samples == 4
+        assert point.artifacts == 2
+
+    def test_deterministic_intervals(self, tmp_path):
+        _save(tmp_path, [97, 99, 100, 101, 103], revision="a")
+        one = trend_report([tmp_path], metrics=("quality",))
+        two = trend_report([tmp_path], metrics=("quality",))
+        ci_one = one.groups[0].metrics[0].points[0].ci
+        ci_two = two.groups[0].metrics[0].points[0].ci
+        assert (ci_one.lower, ci_one.upper) == (ci_two.lower, ci_two.upper)
+
+    def test_messages_metric(self, tmp_path):
+        _save(
+            tmp_path,
+            [100, 100, 100],
+            revision="a",
+            messages=[500, 600, 700],
+        )
+        report = trend_report([tmp_path], metrics=("messages",))
+        (metric,) = report.groups[0].metrics
+        assert metric.points[0].ci.mean == pytest.approx(600.0)
+
+
+class TestCompareRevisions:
+    def test_prefix_resolution_and_verdict(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="aaaa1111", saved_at=1.0)
+        _save(tmp_path / "revB", [138, 141, 140, 139, 142], revision="bbbb2222", saved_at=2.0)
+        (cmp,) = compare_revisions([tmp_path], "aaaa", "bbbb", metrics=("quality",))
+        assert cmp.drifted
+        assert cmp.delta == pytest.approx(40.0)
+
+    def test_unknown_revision_raises(self, tmp_path):
+        _save(tmp_path, [100], revision="aaaa1111")
+        with pytest.raises(ValueError, match="no artifacts at revision"):
+            compare_revisions([tmp_path], "aaaa", "zzzz")
+
+
+class TestBaselineCheck:
+    def test_roundtrip_ok(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="a", saved_at=1.0)
+        baseline = make_baseline([tmp_path / "revA"])
+        check = check_baseline([tmp_path / "revA"], baseline)
+        assert check.ok
+        assert [o.status for o in check.outcomes] == ["ok"]
+
+    def test_drift_detected_at_newer_revision(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="a", saved_at=1.0)
+        baseline = make_baseline([tmp_path / "revA"])
+        _save(tmp_path / "revB", [138, 141, 140, 139, 142], revision="b", saved_at=2.0)
+        check = check_baseline([tmp_path], baseline)
+        assert not check.ok
+        (outcome,) = check.failures
+        assert outcome.status == "drift"
+        assert outcome.observed_mean == pytest.approx(140.0)
+
+    def test_missing_group_fails(self, tmp_path, tmp_path_factory):
+        _save(tmp_path, [100, 100, 100], revision="a")
+        baseline = make_baseline([tmp_path])
+        empty = tmp_path_factory.mktemp("empty")
+        _save(empty, [100], revision="b", tag="other")
+        baseline["groups"]["deadbeef"] = {
+            "tag": "gone",
+            "metrics": {"quality": {"mean": 1.0, "lower": 0.5, "upper": 1.5}},
+        }
+        check = check_baseline([empty], baseline)
+        statuses = {o.group: o.status for o in check.outcomes}
+        assert statuses["deadbeef"] == "missing"
+        assert not check.ok
+
+    def test_new_groups_reported_not_failed(self, tmp_path):
+        _save(tmp_path, [100, 100, 100], revision="a", tag="one")
+        baseline = make_baseline([tmp_path])
+        _save(tmp_path, [50, 50, 50], revision="a", tag="two", seed=9)
+        # same config at a different seed joins the existing group; use a
+        # different config for a genuinely new group
+        store = ResultsStore(tmp_path)
+        store.save(
+            dict(CONFIG, n=999),
+            _results([10.0]),
+            meta={"trials": 1, "tag": "two", "git_revision": "a"},
+        )
+        check = check_baseline([tmp_path], baseline)
+        assert any(group == group_key(dict(CONFIG, n=999)) for _, group in check.new_groups)
+
+    def test_load_baseline_validates(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text('{"baseline_schema": 99, "groups": {}}')
+        with pytest.raises(ValueError, match="not a trends baseline"):
+            load_baseline(path)
+
+    def test_pinned_revision(self, tmp_path):
+        _save(tmp_path / "revA", [98, 101, 100, 99, 102], revision="a", saved_at=1.0)
+        _save(tmp_path / "revB", [138, 141, 140, 139, 142], revision="b", saved_at=2.0)
+        baseline = make_baseline([tmp_path], revision="a")
+        # checking the pinned old revision passes even though newer drifted
+        check = check_baseline([tmp_path], baseline, revision="a")
+        assert check.ok

@@ -9,7 +9,6 @@ by simulation, not just algebra.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.overlay.builders import heterogeneous_random

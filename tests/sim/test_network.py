@@ -9,7 +9,7 @@ from repro.core.hops_sampling import _gossip_spread
 from repro.overlay.builders import heterogeneous_random
 from repro.overlay.graph import OverlayGraph
 from repro.sim.latency import LatencyModel
-from repro.sim.messages import MessageKind, MessageMeter
+from repro.sim.messages import MessageKind
 from repro.sim.network import Message, MessageLevelSpread, Network
 
 

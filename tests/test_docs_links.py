@@ -16,6 +16,7 @@ def test_repo_docs_have_no_broken_links():
     assert any(d.name == "README.md" for d in docs)
     assert any(d.name == "ARCHITECTURE.md" for d in docs)
     assert any(d.name == "EXPERIMENTS.md" for d in docs)
+    assert any(d.name == "TRENDS.md" for d in docs)
     problems = [p for d in docs for p in check_file(d)]
     assert problems == []
 
