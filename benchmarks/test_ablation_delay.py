@@ -5,10 +5,11 @@ probably outperforms the other algorithms in terms of delay ... very
 likely to be much shorter than the 50 rounds of Aggregation or the wait
 for 200 equivalent samples of Sample&Collide".
 
-This study is intentionally serial (no `runtime=` parameter): it is
-not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
-effect here — `run_experiment` probes `supports_runtime()` and simply
-omits the runtime knobs.
+Runs through `repro.runtime` as one `delay_probe` batch: the latency
+model travels as a declarative `LatencySpec` and is rebuilt inside the
+worker, so `REPRO_WORKERS` shards the pricing trials and
+`REPRO_CACHE_DIR` serves warm reruns from the content-addressed store —
+output bit-identical either way.
 """
 
 from _common import run_experiment

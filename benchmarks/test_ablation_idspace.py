@@ -5,10 +5,12 @@ approximation of the system size" (cheaply!) but are "strictly limited to
 those identifier-based overlay networks" — a skewed id assignment breaks
 them outright, while Sample&Collide is assumption-free.
 
-This study is intentionally serial (no `runtime=` parameter): it is
-not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
-effect here — `run_experiment` probes `supports_runtime()` and simply
-omits the runtime knobs.
+Runs through `repro.runtime`: each table row is a cached grid cell
+(`idspace_probe` for the two interval-density rows — the shared
+identifier space is rebuilt worker-side from a declarative `IdSpaceSpec`
+— and `fresh_probe` for Sample&Collide), so `REPRO_WORKERS` shards the
+repetitions and `REPRO_CACHE_DIR` serves warm reruns from the
+content-addressed store — output bit-identical either way.
 """
 
 from _common import run_experiment

@@ -5,10 +5,12 @@ shrinkage is attributed to connectivity loss in the *unrepaired* overlay.
 Re-running the scenario under maintenance policies separates the cause
 (repair suppresses the breakdown) and prices the cure (CONTROL messages).
 
-This study is intentionally serial (no `runtime=` parameter): it is
-not a repetition grid, so `REPRO_WORKERS`/`REPRO_CACHE_DIR` have no
-effect here — `run_experiment` probes `supports_runtime()` and simply
-omits the runtime knobs.
+Runs through `repro.runtime` as one cached `repair_replay` batch per
+policy: the maintenance policy travels as a declarative
+`RepairPolicySpec` and is rebuilt against the worker-local graph, so
+`REPRO_WORKERS` shards the three scenarios and `REPRO_CACHE_DIR` serves
+warm reruns from the content-addressed store — output bit-identical
+either way.
 """
 
 from _common import run_experiment

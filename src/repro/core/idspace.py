@@ -40,18 +40,44 @@ exactly why the study's three candidates avoid the assumption.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..overlay.graph import OverlayGraph
 from ..sim.messages import MessageKind, MessageMeter
-from ..sim.rng import RngLike, as_generator
+from ..sim.rng import RngHub, RngLike, as_generator
 from .base import Estimate, EstimatorError, SizeEstimator
 
 __all__ = [
+    "ID_TRANSFORMS",
+    "IdSpaceSpec",
     "IdentifierSpace",
     "IntervalDensityEstimator",
     "NeighborDistanceEstimator",
+    "make_transform",
 ]
+
+
+#: transform name -> factory(**params) -> position map on the unit circle.
+#: The declarative vocabulary of :class:`IdSpaceSpec`: "uniform" is the
+#: honest DHT assignment (identity), "power" concentrates density near 0
+#: (``pos**exponent`` — the idspace ablation's skewed/adversarial join
+#: pattern).  Register new names here to open new id-assignment workloads.
+ID_TRANSFORMS: Dict[str, Callable[..., Callable[[float], float]]] = {
+    "uniform": lambda: (lambda pos: pos),
+    "power": lambda exponent=3.0: (lambda pos, _e=float(exponent): pos**_e),
+}
+
+
+def make_transform(kind: str, **params: Any) -> Callable[[float], float]:
+    """Instantiate a registered id transform by name."""
+    try:
+        factory = ID_TRANSFORMS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown id transform {kind!r}; have {sorted(ID_TRANSFORMS)}"
+        ) from None
+    return factory(**params)
 
 
 class IdentifierSpace:
@@ -80,6 +106,23 @@ class IdentifierSpace:
             self._ids[node] = pos
             self._stale = True
         return pos
+
+    def with_transform(self, fn: Callable[[float], float]) -> "IdentifierSpace":
+        """A copy of this space with ``fn`` applied to every node's id.
+
+        Materializes an id for every alive node first (drawing from this
+        space's generator in ``graph.nodes()`` order), then maps each
+        position through ``fn`` — the public route to non-uniform id
+        assignments (skewed/adversarial join patterns) that previously
+        required rewriting the private ``_ids`` dict.  ``fn`` must map
+        ``[0, 1)`` into ``[0, 1)``; the clone shares this space's
+        generator, so nodes joining later continue the same stream.
+        """
+        clone = IdentifierSpace(self.graph, rng=self._rng)
+        for u in self.graph.nodes():
+            clone._ids[u] = float(fn(self.id_of(u)))
+        clone._stale = True
+        return clone
 
     def refresh(self) -> None:
         """Rebuild the sorted id index against the current membership."""
@@ -148,6 +191,60 @@ class IdentifierSpace:
             b = self._sorted[(start + i + 1) % n]
             gaps.append((b - a) % 1.0)
         return gaps
+
+
+@dataclass(frozen=True)
+class IdSpaceSpec:
+    """Declarative, picklable description of an id-space build.
+
+    Pure data standing in for a live :class:`IdentifierSpace`: the
+    transform name (a key of :data:`ID_TRANSFORMS`), its parameters, and
+    the hub channel the ids draw from.  Workers rebuild the exact same id
+    assignment from ``(hub seed, stream, transform)`` alone, which is what
+    lets the idspace ablation's shared-space trials run in any process.
+    """
+
+    transform: str = "uniform"
+    params: Dict[str, Any] = field(default_factory=dict)
+    stream: str = "ids"
+
+    def __post_init__(self) -> None:
+        if self.transform not in ID_TRANSFORMS:
+            raise ValueError(
+                f"unknown id transform {self.transform!r}; "
+                f"have {sorted(ID_TRANSFORMS)}"
+            )
+
+    def build(self, graph: OverlayGraph, hub: RngHub) -> IdentifierSpace:
+        """Materialize the id space on ``graph`` drawing from ``hub``.
+
+        The uniform assignment stays lazy (ids appear on first use, as the
+        serial experiments always had it); transformed assignments are
+        materialized eagerly via :meth:`IdentifierSpace.with_transform` —
+        both consume the stream in ``graph.nodes()`` order, so the draws
+        are identical either way.
+        """
+        space = IdentifierSpace(graph, rng=hub.stream(self.stream))
+        if self.transform == "uniform" and not self.params:
+            return space
+        return space.with_transform(make_transform(self.transform, **self.params))
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form for content addressing."""
+        return {
+            "transform": self.transform,
+            "params": dict(self.params),
+            "stream": self.stream,
+        }
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "IdSpaceSpec":
+        """Rebuild a spec from its :meth:`as_config` form (worker side)."""
+        return cls(
+            transform=str(config.get("transform", "uniform")),
+            params=dict(config.get("params") or {}),
+            stream=str(config.get("stream", "ids")),
+        )
 
 
 class IntervalDensityEstimator(SizeEstimator):

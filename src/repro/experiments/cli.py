@@ -23,9 +23,13 @@ Run Table I at the small (benchmark) scale and save CSVs::
     repro-experiment run table1 --scale small --csv-dir results/
 
 Shard the trials of each figure over 4 worker processes and cache results
-so the next identical invocation is served from disk::
+so the next identical invocation is served from disk.  Every ablation —
+including the delay/idspace/repair studies, whose live state travels as
+declarative specs — honors the same knobs, so ``run all`` parallelizes
+and caches the whole catalog::
 
     repro-experiment run fig1 --scale small --workers 4 --cache-dir ~/.cache/repro
+    repro-experiment run all --scale small --workers 4 --cache-dir ~/.cache/repro
 
 Inspect and prune that cache::
 

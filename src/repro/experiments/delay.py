@@ -7,6 +7,18 @@ physical-network modelling as future work; this experiment implements it
 (per-message log-normal latency, lock-step rounds) and checks the
 conjecture: gossip-spread + immediate ACK beats 50 aggregation round trips
 and the sequential wait for ≈sqrt(2lN) walk samples.
+
+Execution model
+---------------
+The study runs as one ``delay_probe`` batch of four trials — one per
+completion-time row, in the fixed pricing order of
+:data:`~repro.runtime.DELAY_PRICINGS`.  The latency model travels as a
+declarative :class:`~repro.sim.latency.LatencySpec` and is rebuilt inside
+the worker against the hub's ``"lat"`` stream; protocol structure (walks,
+spread rounds) is measured by running the real estimators once per chunk.
+Passing ``runtime=`` shards/caches the batch; results are bit-identical to
+the historical serial loop at any worker count because pricing replays the
+shared latency stream from the start of the sequence.
 """
 
 from __future__ import annotations
@@ -14,12 +26,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..analysis.curves import TableResult
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.sample_collide import SampleCollideEstimator
-from ..sim.latency import LatencyModel
-from ..sim.rng import RngHub
+from ..runtime import RuntimeOptions, TrialSpec, run_trials
+from ..sim.latency import LatencySpec
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
+from .runner import overlay_spec
 
 __all__ = ["delay_comparison"]
 
@@ -28,6 +39,7 @@ def delay_comparison(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     median_latency_ms: float = 50.0,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Estimated completion time per algorithm on one overlay.
 
@@ -37,36 +49,40 @@ def delay_comparison(
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
-    hub = RngHub(cfg.seed).child("delay")
-    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
-    model = LatencyModel(median_ms=median_latency_ms, rng=hub.stream("lat"))
-
-    # Measure real execution structure.
-    sc_est = SampleCollideEstimator(
-        graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.stream("sc")
-    ).estimate()
-    hops_est = HopsSamplingEstimator(
-        graph,
-        gossip_to=cfg.hops_fanout,
-        min_hops_reporting=cfg.hops_min_reporting,
-        rng=hub.stream("hops"),
-    ).estimate()
-
-    walks = sc_est.meta["draws"]
-    hops_per_walk = sc_est.meta["walk_hops"] / max(walks, 1)
-    spread_rounds = hops_est.meta["spread_rounds"]
-    agg_rounds = cfg.scale.restart_interval
-
-    sc_seq = model.sample_collide_delay(walks, hops_per_walk, parallel_walks=False)
-    sc_par = model.sample_collide_delay(walks, hops_per_walk, parallel_walks=True)
-    hops_delay = model.hops_sampling_delay(spread_rounds, fanout=cfg.hops_fanout)
-    agg_delay = model.aggregation_delay(agg_rounds)
+    hub_seed = derive_seed(cfg.seed, "child:delay")
+    params = {
+        "latency": LatencySpec(median_ms=median_latency_ms).as_config(),
+        "sc": {"l": cfg.sc_l, "timer": cfg.sc_timer},
+        "hops": {
+            "gossip_to": cfg.hops_fanout,
+            "min_hops_reporting": cfg.hops_min_reporting,
+        },
+        "agg_rounds": cfg.scale.restart_interval,
+    }
+    specs = [
+        TrialSpec(
+            "delay_probe",
+            hub_seed,
+            index,
+            overlay=overlay_spec(cfg, cfg.scale.n_100k),
+            params=params,
+        )
+        for index in range(4)
+    ]
+    results = run_trials(specs, runtime=runtime, tag="ablation_delay")
+    by = {r.extra["pricing"]: r for r in results}
+    first = next(iter(by.values()))
+    structure = first.extra  # measured once per chunk, stamped on every row
+    walks = structure["walks"]
+    hops_per_walk = structure["hops_per_walk"]
+    spread_rounds = structure["spread_rounds"]
+    agg_rounds = structure["agg_rounds"]
 
     table = TableResult(
         table_id="ablation_delay",
         title=(
             f"Estimated completion time (median link latency "
-            f"{median_latency_ms:.0f} ms, n={graph.size})"
+            f"{median_latency_ms:.0f} ms, n={int(first.true_size)})"
         ),
         columns=["algorithm", "structure", "completion_seconds"],
         notes=(
@@ -77,21 +93,21 @@ def delay_comparison(
     table.add_row(
         algorithm="HopsSampling",
         structure=f"{spread_rounds} spread rounds + 1 reply",
-        completion_seconds=round(hops_delay.total, 3),
+        completion_seconds=round(by["hops"].value, 3),
     )
     table.add_row(
         algorithm="Aggregation",
         structure=f"{agg_rounds} lock-step round trips",
-        completion_seconds=round(agg_delay.total, 3),
+        completion_seconds=round(by["aggregation"].value, 3),
     )
     table.add_row(
         algorithm="Sample&Collide (parallel walks)",
         structure=f"{walks} concurrent walks x {hops_per_walk:.0f} hops",
-        completion_seconds=round(sc_par.total, 3),
+        completion_seconds=round(by["sc_parallel"].value, 3),
     )
     table.add_row(
         algorithm="Sample&Collide (sequential walks)",
         structure=f"{walks} sequential walks x {hops_per_walk:.0f} hops",
-        completion_seconds=round(sc_seq.total, 3),
+        completion_seconds=round(by["sc_sequential"].value, 3),
     )
     return table

@@ -9,47 +9,96 @@ overlay (uniform ids available), how much cheaper is the structured
 approach than the general-purpose candidates — and what happens to it when
 the id-uniformity assumption breaks (a skewed assignment, e.g. geographic
 clustering or an adversarial join pattern)?
+
+Execution model
+---------------
+Three cached grid cells, one per table row: the uniform and skewed
+interval-density rows run as ``idspace_probe`` batches whose shared
+:class:`~repro.core.idspace.IdentifierSpace` is rebuilt inside each worker
+from a declarative :class:`~repro.core.idspace.IdSpaceSpec` (the skewed
+assignment uses the public ``power`` transform — formerly a private
+``_ids`` rewrite); the Sample&Collide row is a plain ``fresh_probe``
+batch.  Passing ``runtime=`` shards repetitions over workers and serves
+warm reruns from the store, bit-identical to the serial loops because
+every repetition's generator derives from the historical
+``RngHub.fresh`` lineage.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..analysis.curves import TableResult
-from ..core.idspace import IdentifierSpace, IntervalDensityEstimator
-from ..core.sample_collide import SampleCollideEstimator
-from ..sim.rng import RngHub
+from ..core.idspace import IdSpaceSpec
+from ..runtime import EstimatorSpec, RuntimeOptions, TrialSpec, sweep
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
+from .runner import overlay_spec
 
 __all__ = ["idspace_comparison"]
-
-
-def _skewed_space(graph, rng) -> IdentifierSpace:
-    """An id assignment violating uniformity: ids concentrated by x^3."""
-    space = IdentifierSpace(graph, rng=rng)
-    for u in graph.nodes():
-        _ = space.id_of(u)
-    # overwrite with a cubed transform: density piles up near 0
-    space._ids = {u: (pos**3) for u, pos in space._ids.items()}
-    space._stale = True
-    return space
 
 
 def idspace_comparison(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     repetitions: int = 12,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Interval-density (uniform and skewed ids) vs Sample&Collide."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
-    hub = RngHub(cfg.seed).child("idspace")
-    graph = build_overlay(cfg, cfg.scale.n_100k, hub)
-    true = graph.size
+    hub_seed = derive_seed(cfg.seed, "child:idspace")
+    overlay = overlay_spec(cfg, cfg.scale.n_100k)
+
+    # interval density k chosen to match S&C's l=200 accuracy: both invert
+    # an order statistic, error ~ 1/sqrt(k)
+    k = cfg.sc_l
+    cells: Dict[str, Dict[str, object]] = {
+        "uniform": {
+            "kind": "idspace_probe",
+            "estimator": EstimatorSpec.interval_density(k=k),
+            "params": {
+                "fresh_name": "idu",
+                "idspace": IdSpaceSpec(stream="ids").as_config(),
+            },
+        },
+        "skewed": {
+            "kind": "idspace_probe",
+            "estimator": EstimatorSpec.interval_density(k=k),
+            "params": {
+                "fresh_name": "ids_skew_est",
+                # density piles up near 0 under the cubed transform
+                "idspace": IdSpaceSpec(
+                    transform="power", params={"exponent": 3.0}, stream="ids_skew"
+                ).as_config(),
+            },
+        },
+        "sample_collide": {
+            "kind": "fresh_probe",
+            "estimator": EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer),
+            "params": {"fresh_name": "sc"},
+        },
+    }
+
+    def _cell_batch(name: str) -> List[TrialSpec]:
+        cell = cells[name]
+        return [
+            TrialSpec(
+                cell["kind"],
+                hub_seed,
+                rep,
+                overlay=overlay,
+                estimator=cell["estimator"],
+                params=cell["params"],
+            )
+            for rep in range(repetitions)
+        ]
+
+    grid = sweep(_cell_batch, cells, runtime=runtime, tag="ablation_idspace")
+    true = int(next(iter(grid.values()))[0].true_size)
 
     table = TableResult(
         table_id="ablation_idspace",
@@ -60,53 +109,19 @@ def idspace_comparison(
             "limited to identifier-based overlay networks'; skewed ids break them"
         ),
     )
-
-    # interval density with honest uniform ids (k chosen to match S&C's
-    # l=200 accuracy: both invert an order statistic, error ~ 1/sqrt(k))
-    k = cfg.sc_l
-    uniform_space = IdentifierSpace(graph, rng=hub.stream("ids"))
-    errs, msgs = [], []
-    for _ in range(repetitions):
-        est = IntervalDensityEstimator(
-            graph, space=uniform_space, k=k, rng=hub.fresh("idu")
-        ).estimate()
-        errs.append(abs(100.0 * est.value / true - 100.0))
-        msgs.append(est.messages)
-    table.add_row(
-        estimator=f"IntervalDensity (k={k})",
-        assumption="uniform ids (DHT)",
-        mean_messages=int(np.mean(msgs)),
-        mean_abs_error_pct=round(float(np.mean(errs)), 2),
-    )
-
-    # the same estimator under a skewed id assignment
-    skewed = _skewed_space(graph, hub.stream("ids_skew"))
-    errs, msgs = [], []
-    for _ in range(repetitions):
-        est = IntervalDensityEstimator(
-            graph, space=skewed, k=k, rng=hub.fresh("ids_skew_est")
-        ).estimate()
-        errs.append(abs(100.0 * est.value / true - 100.0))
-        msgs.append(est.messages)
-    table.add_row(
-        estimator=f"IntervalDensity (k={k})",
-        assumption="skewed ids (broken)",
-        mean_messages=int(np.mean(msgs)),
-        mean_abs_error_pct=round(float(np.mean(errs)), 2),
-    )
-
-    # the general-purpose candidate, no assumptions
-    errs, msgs = [], []
-    for _ in range(repetitions):
-        est = SampleCollideEstimator(
-            graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.fresh("sc")
-        ).estimate()
-        errs.append(abs(100.0 * est.value / true - 100.0))
-        msgs.append(est.messages)
-    table.add_row(
-        estimator=f"Sample&Collide (l={cfg.sc_l})",
-        assumption="none (any overlay)",
-        mean_messages=int(np.mean(msgs)),
-        mean_abs_error_pct=round(float(np.mean(errs)), 2),
-    )
+    labels = {
+        "uniform": (f"IntervalDensity (k={k})", "uniform ids (DHT)"),
+        "skewed": (f"IntervalDensity (k={k})", "skewed ids (broken)"),
+        "sample_collide": (f"Sample&Collide (l={cfg.sc_l})", "none (any overlay)"),
+    }
+    for name, results in grid.items():
+        errs = [abs(100.0 * r.value / r.true_size - 100.0) for r in results]
+        msgs = [r.extra["messages"] for r in results]
+        estimator, assumption = labels[name]
+        table.add_row(
+            estimator=estimator,
+            assumption=assumption,
+            mean_messages=int(np.mean(msgs)),
+            mean_abs_error_pct=round(float(np.mean(errs)), 2),
+        )
     return table

@@ -6,30 +6,42 @@ epochs as a fix.  Real systems instead *repair*: this experiment reruns the
 Fig 17 scenario under three maintenance policies (none / bounded-effort /
 ideal) and reports late-run accuracy plus the maintenance traffic spent —
 quantifying how much repair buys and what it costs.
+
+Execution model
+---------------
+One cached ``repair_replay`` batch per policy.  The maintenance policy
+travels as a declarative :class:`~repro.overlay.repair.RepairPolicySpec`
+and is rebuilt against the worker-local graph; the churn trace ships as a
+JSON payload.  Each trial is one observed round of the scenario's last
+quarter (where Fig 17 breaks), carrying the held estimate, the true size,
+and the cumulative repair traffic / failed-epoch counters — the final
+round therefore carries the serial run's totals.  Passing ``runtime=``
+shards the three policies over workers and serves warm reruns from the
+store; chunks replay the churn prefix from round 1, so results are
+bit-identical to the serial loop at any worker count.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..analysis.curves import TableResult
 from ..churn.models import shrinking_trace
-from ..churn.scheduler import ChurnScheduler
-from ..core.aggregation import AggregationMonitor
-from ..overlay.repair import DegreeRepair, FullRepair, NoRepair
-from ..sim.messages import MessageMeter
-from ..sim.rng import RngHub
-from ..sim.rounds import RoundDriver
+from ..overlay.repair import RepairPolicySpec
+from ..runtime import RuntimeOptions, TrialSpec, sweep, trace_to_payload
+from ..sim.rng import derive_seed
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
+from .runner import overlay_spec
 
 __all__ = ["repair_comparison"]
 
 
 def repair_comparison(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Fig 17's shrinking scenario under three repair policies."""
     cfg = ExperimentConfig(scale=resolve_scale(scale))
@@ -57,48 +69,50 @@ def repair_comparison(
     )
 
     policies = {
-        "none (paper)": lambda g, hub, meter: NoRepair(g, rng=hub.stream("rep"), meter=meter),
-        "degree repair (min 3 -> 5)": lambda g, hub, meter: DegreeRepair(
-            g, min_degree=3, target_degree=5,
-            max_links_per_round=max(n // 50, 10),
-            rng=hub.stream("rep"), meter=meter,
+        "none (paper)": RepairPolicySpec.none(),
+        "degree repair (min 3 -> 5)": RepairPolicySpec.degree(
+            min_degree=3, target_degree=5, max_links_per_round=max(n // 50, 10)
         ),
-        "full repair (ideal)": lambda g, hub, meter: FullRepair(
-            g, target_degree=7, rng=hub.stream("rep"), meter=meter
-        ),
+        "full repair (ideal)": RepairPolicySpec.full(target_degree=7),
     }
-
-    for name, make_policy in policies.items():
-        hub = RngHub(cfg.seed).child(f"repair:{name}")
-        graph = build_overlay(cfg, n, hub)
-        driver = RoundDriver()
-        trace = shrinking_trace(
+    trace_payload = trace_to_payload(
+        shrinking_trace(
             n, 0.5, start=1.0, end=float(horizon), steps=max(horizon // 10, 10)
         )
-        ChurnScheduler(
-            graph, trace, rng=hub.stream("churn"), max_degree=cfg.max_degree
-        ).attach(driver)
-        repair_meter = MessageMeter()
-        policy = make_policy(graph, hub, repair_meter)
-        policy.attach(driver)
-        monitor = AggregationMonitor(
-            graph,
-            restart_interval=cfg.scale.restart_interval,
-            rng=hub.stream("monitor"),
-        )
-        monitor.attach(driver)
-        sizes = []
-        driver.subscribe(lambda rnd, g=graph, s=sizes: s.append(g.size), priority=30)
-        driver.run(horizon)
+    )
+    # the quarter where fig17 breaks: rounds (3*horizon//4, horizon]
+    q_start = 3 * horizon // 4
 
-        est = np.asarray(monitor.series, dtype=float)
-        real = np.asarray(sizes, dtype=float)
-        q = slice(3 * len(real) // 4, None)  # the quarter where fig17 breaks
-        late_err = float(np.nanmean(np.abs(est[q] - real[q]) / real[q])) * 100.0
+    def _policy_batch(name: str) -> List[TrialSpec]:
+        # the serial loop seeded each policy's hub from its display name
+        hub_seed = derive_seed(cfg.seed, f"child:repair:{name}")
+        params = {
+            "trace": trace_payload,
+            "max_degree": cfg.max_degree,
+            "restart_interval": cfg.scale.restart_interval,
+            "repair": policies[name].as_config(),
+        }
+        return [
+            TrialSpec(
+                "repair_replay",
+                hub_seed,
+                rnd,
+                overlay=overlay_spec(cfg, n),
+                params=params,
+            )
+            for rnd in range(q_start + 1, horizon + 1)
+        ]
+
+    grid = sweep(_policy_batch, policies, runtime=runtime, tag="ablation_repair")
+    for name, results in grid.items():
+        est = np.asarray([r.value for r in results], dtype=float)
+        real = np.asarray([r.true_size for r in results], dtype=float)
+        late_err = float(np.nanmean(np.abs(est - real) / real)) * 100.0
+        final = results[-1]  # round == horizon: cumulative counters = totals
         table.add_row(
             policy=name,
             late_rel_error_pct=round(late_err, 1),
-            failed_epochs=monitor.failures,
-            repair_messages=repair_meter.total,
+            failed_epochs=int(final.extra["failures"]),
+            repair_messages=int(final.extra["messages"]),
         )
     return table

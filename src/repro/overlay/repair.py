@@ -28,14 +28,22 @@ overhead it saves.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..sim.messages import MessageKind, MessageMeter
 from ..sim.rng import RngLike, as_generator
 from ..sim.rounds import PRIORITY_CHURN, RoundDriver
 from .graph import OverlayGraph
 
-__all__ = ["RepairPolicy", "NoRepair", "DegreeRepair", "FullRepair"]
+__all__ = [
+    "REPAIR_POLICIES",
+    "RepairPolicy",
+    "RepairPolicySpec",
+    "NoRepair",
+    "DegreeRepair",
+    "FullRepair",
+]
 
 #: Repair runs after churn (which is PRIORITY_CHURN) but before protocols.
 PRIORITY_REPAIR = PRIORITY_CHURN + 5
@@ -185,3 +193,83 @@ class FullRepair(RepairPolicy):
             if deficit > 0:
                 formed += self._link_to_random_peers(u, deficit, candidates)
         return formed
+
+
+#: policy name -> class.  The declarative vocabulary of
+#: :class:`RepairPolicySpec`; register new policies here to make them
+#: addressable from trial specs.
+REPAIR_POLICIES: Dict[str, type] = {
+    "none": NoRepair,
+    "degree": DegreeRepair,
+    "full": FullRepair,
+}
+
+
+@dataclass(frozen=True)
+class RepairPolicySpec:
+    """Declarative, picklable description of a repair-policy build.
+
+    A live :class:`RepairPolicy` is bound to a graph, a generator and a
+    meter — none of which travel to worker processes.  The spec carries
+    only the policy *kind* (a key of :data:`REPAIR_POLICIES`) and its
+    constructor parameters; workers rebuild the policy against their local
+    graph (the repair ablation's route into ``repro.runtime``).
+    """
+
+    kind: str = "none"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REPAIR_POLICIES:
+            raise ValueError(
+                f"unknown repair policy {self.kind!r}; "
+                f"have {sorted(REPAIR_POLICIES)}"
+            )
+
+    def build(
+        self,
+        graph: OverlayGraph,
+        rng: RngLike = None,
+        meter: Optional[MessageMeter] = None,
+    ) -> RepairPolicy:
+        """Instantiate the policy on the worker-local ``graph``."""
+        return REPAIR_POLICIES[self.kind](graph, rng=rng, meter=meter, **self.params)
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form for content addressing."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "RepairPolicySpec":
+        """Rebuild a spec from its :meth:`as_config` form (worker side)."""
+        return cls(
+            kind=str(config.get("kind", "none")),
+            params=dict(config.get("params") or {}),
+        )
+
+    @classmethod
+    def none(cls) -> "RepairPolicySpec":
+        """The paper's baseline: never repair."""
+        return cls("none", {})
+
+    @classmethod
+    def degree(
+        cls,
+        min_degree: int = 3,
+        target_degree: int = 5,
+        max_links_per_round: int = 200,
+    ) -> "RepairPolicySpec":
+        """Bounded-effort repair (the realistic maintenance abstraction)."""
+        return cls(
+            "degree",
+            {
+                "min_degree": int(min_degree),
+                "target_degree": int(target_degree),
+                "max_links_per_round": int(max_links_per_round),
+            },
+        )
+
+    @classmethod
+    def full(cls, target_degree: int = 7) -> "RepairPolicySpec":
+        """Idealized repair: every node restored each round (upper bound)."""
+        return cls("full", {"target_degree": int(target_degree)})

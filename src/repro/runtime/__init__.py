@@ -55,8 +55,12 @@ from .trends import (
     trend_report,
 )
 from .trials import (
+    DELAY_PRICINGS,
     EstimatorSpec,
+    IdSpaceSpec,
+    LatencySpec,
     OverlaySpec,
+    RepairPolicySpec,
     TrialResult,
     TrialSpec,
     run_chunk,
@@ -67,15 +71,19 @@ from .trials import (
 __all__ = [
     "ArtifactInfo",
     "CheckReport",
+    "DELAY_PRICINGS",
     "EstimatorSpec",
     "GCReport",
     "GroupTrend",
+    "IdSpaceSpec",
+    "LatencySpec",
     "LogProgress",
     "MetricComparison",
     "MetricTrend",
     "StoreStats",
     "NullProgress",
     "OverlaySpec",
+    "RepairPolicySpec",
     "ProgressReporter",
     "ResultsStore",
     "RuntimeOptions",

@@ -35,6 +35,7 @@ from ..churn.scheduler import ChurnScheduler
 from ..core.aggregation import AggregationMonitor, AggregationProtocol
 from ..core.base import EstimatorError
 from ..core.hops_sampling import HopsSamplingEstimator
+from ..core.idspace import IdSpaceSpec, IntervalDensityEstimator
 from ..core.random_tour import RandomTourEstimator
 from ..core.sample_collide import SampleCollideEstimator
 from ..overlay.builders import (
@@ -44,14 +45,21 @@ from ..overlay.builders import (
     scale_free,
 )
 from ..overlay.graph import OverlayGraph
+from ..overlay.repair import RepairPolicySpec
+from ..sim.latency import LatencySpec
+from ..sim.messages import MessageMeter
 from ..sim.rng import RngHub, derive_seed
 from ..sim.rounds import RoundDriver
 
 __all__ = [
     "EstimatorSpec",
+    "IdSpaceSpec",
+    "LatencySpec",
     "OverlaySpec",
+    "RepairPolicySpec",
     "TrialResult",
     "TrialSpec",
+    "DELAY_PRICINGS",
     "ESTIMATOR_BUILDERS",
     "ESTIMATOR_RNG_BUILDERS",
     "ESTIMATOR_STREAMS",
@@ -224,6 +232,11 @@ ESTIMATOR_RNG_BUILDERS: Dict[str, Callable[..., Any]] = {
     "aggregation_epoch": lambda graph, rng, rounds=50: _AggregationEpoch(
         graph, rng, rounds=rounds
     ),
+    # The shared IdentifierSpace is worker-local context, not spec data:
+    # ``idspace_probe`` injects it via ``build_with_rng(space=...)``.
+    "interval_density": lambda graph, rng, k=50, space=None: IntervalDensityEstimator(
+        graph, space=space, k=k, rng=rng
+    ),
 }
 
 #: Hub channel each kind draws from when built via a hub.  "sc"/"hops"
@@ -234,6 +247,7 @@ ESTIMATOR_STREAMS: Dict[str, str] = {
     "hops_sampling": "hops",
     "random_tour": "rt",
     "aggregation_epoch": "agg",
+    "interval_density": "ids",
 }
 
 
@@ -269,13 +283,18 @@ class EstimatorSpec:
         """Instantiate the estimator on ``graph`` drawing RNG from ``hub``."""
         return ESTIMATOR_BUILDERS[self.kind](graph, hub, **self.params)
 
-    def build_with_rng(self, graph: OverlayGraph, rng):
+    def build_with_rng(self, graph: OverlayGraph, rng, **context):
         """Instantiate the estimator with an explicit generator.
 
         Used by trial kinds that must reproduce a specific historical RNG
         lineage (``fresh_probe`` derives one generator per repetition).
+        ``context`` passes worker-local objects the spec cannot carry —
+        e.g. the shared :class:`~repro.core.idspace.IdentifierSpace` of
+        ``idspace_probe`` — and never enters the content address.
         """
-        return ESTIMATOR_RNG_BUILDERS[self.kind](graph, rng, **self.params)
+        return ESTIMATOR_RNG_BUILDERS[self.kind](
+            graph, rng, **{**self.params, **context}
+        )
 
     def as_config(self) -> Dict[str, Any]:
         """Plain-dict form for content addressing."""
@@ -311,6 +330,16 @@ class EstimatorSpec:
     def aggregation_epoch(cls, rounds: int = 50) -> "EstimatorSpec":
         """One fixed-length Aggregation epoch as a one-shot estimate."""
         return cls("aggregation_epoch", {"rounds": int(rounds)})
+
+    @classmethod
+    def interval_density(cls, k: int = 50) -> "EstimatorSpec":
+        """The §I id-density estimator (idspace ablation).
+
+        The shared :class:`~repro.core.idspace.IdentifierSpace` is built
+        worker-side from the batch's :class:`IdSpaceSpec` and injected via
+        ``build_with_rng(space=...)``.
+        """
+        return cls("interval_density", {"k": int(k)})
 
 
 # ----------------------------------------------------------------------
@@ -448,7 +477,9 @@ class TrialResult:
 
 #: Kinds whose chunk runner mutates the overlay (churn): they must build a
 #: fresh graph per chunk and must never share a memoized instance.
-_MUTATING_KINDS = frozenset({"dynamic_probe", "multi_probe", "agg_dynamic"})
+_MUTATING_KINDS = frozenset(
+    {"dynamic_probe", "multi_probe", "agg_dynamic", "repair_replay"}
+)
 
 #: Per-process memo of the last few spec-built overlays.  Static kinds only
 #: read the graph, and spec builds are deterministic, so sharing one
@@ -515,8 +546,12 @@ def _scalar_meta(meta: Mapping[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def _run_fresh_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
-    """Repetition-style estimations with ``hub.fresh`` lineage (ablations).
+def _fresh_results(
+    specs: Sequence[TrialSpec],
+    graph: OverlayGraph,
+    make_estimator: Callable[[TrialSpec, Any], Any],
+) -> List[TrialResult]:
+    """Shared loop of the ``hub.fresh``-lineage probe kinds.
 
     The ablation tables historically drew one generator per repetition via
     :meth:`~repro.sim.rng.RngHub.fresh`: the ``k``-th call for a name seeds
@@ -527,17 +562,15 @@ def _run_fresh_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     diagnostics land in ``extra`` (``messages``, ``meta``) for the tables'
     overhead columns.
     """
-    first = specs[0]
-    graph = _chunk_graph(first)
     out: List[TrialResult] = []
     for spec in specs:
         name = spec.params["fresh_name"]
         if not isinstance(spec.estimator, EstimatorSpec):
-            raise TypeError("fresh_probe trials require an EstimatorSpec")
+            raise TypeError(f"{spec.kind} trials require an EstimatorSpec")
         rng = np.random.default_rng(
             derive_seed(spec.hub_seed, f"{name}#{spec.index}")
         )
-        est = spec.estimator.build_with_rng(graph, rng).estimate()
+        est = make_estimator(spec, rng).estimate()
         out.append(
             TrialResult(
                 index=spec.index,
@@ -551,6 +584,36 @@ def _run_fresh_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
             )
         )
     return out
+
+
+def _run_fresh_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Repetition-style estimations with ``hub.fresh`` lineage (ablations)."""
+    graph = _chunk_graph(specs[0])
+    return _fresh_results(
+        specs, graph, lambda spec, rng: spec.estimator.build_with_rng(graph, rng)
+    )
+
+
+def _run_idspace_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Fresh-lineage estimations against a worker-built identifier space.
+
+    Like ``fresh_probe``, but the estimator is constructed around a shared
+    :class:`~repro.core.idspace.IdentifierSpace` materialized inside the
+    worker from the batch's :class:`IdSpaceSpec` (``params["idspace"]``).
+    Ids draw from the hub stream the spec names — independent of the
+    per-repetition fresh generators — so every chunk rebuilds the exact
+    same id assignment and chunk boundaries cannot perturb results.
+    """
+    first = specs[0]
+    graph = _chunk_graph(first)
+    space = IdSpaceSpec.from_config(first.params.get("idspace") or {}).build(
+        graph, RngHub(first.hub_seed)
+    )
+    return _fresh_results(
+        specs,
+        graph,
+        lambda spec, rng: spec.estimator.build_with_rng(graph, rng, space=space),
+    )
 
 
 def _replay_probe(
@@ -740,12 +803,154 @@ def _run_agg_dynamic(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     return out
 
 
+#: Pricing sequence of the delay ablation.  The serial study priced the
+#: four completion-time rows in exactly this order, all consuming one
+#: shared ``"lat"`` latency stream, so replay must walk the same order;
+#: a ``delay_probe`` spec's ``index`` is a position in this tuple.
+DELAY_PRICINGS = ("sc_sequential", "sc_parallel", "hops", "aggregation")
+
+
+def _run_delay_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Latency-model pricing of measured protocol structures (delay ablation).
+
+    One chunk = one overlay + one measurement pass + a pricing replay.
+    The real S&C and HopsSampling estimators run once per chunk on their
+    own hub streams (``"sc"``/``"hops"``) to measure execution structure
+    (walks, hops per walk, spread rounds); the :class:`LatencySpec`-built
+    model then prices the :data:`DELAY_PRICINGS` sequence, drawing every
+    latency from the shared ``"lat"`` stream in that fixed order.  A chunk
+    starting mid-sequence replays the earlier pricings' draws and discards
+    them — the latency-stream analogue of churn-prefix replay — so each
+    trial depends only on ``(hub_seed, index)``.
+    """
+    first = specs[0]
+    p = first.params
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    model = LatencySpec.from_config(p["latency"]).build(rng=hub.stream("lat"))
+    sc_est = ESTIMATOR_RNG_BUILDERS["sample_collide"](
+        graph, hub.stream("sc"), **p.get("sc", {})
+    ).estimate()
+    hops_params = dict(p.get("hops", {}))
+    hops_est = ESTIMATOR_RNG_BUILDERS["hops_sampling"](
+        graph, hub.stream("hops"), **hops_params
+    ).estimate()
+
+    walks = int(sc_est.meta["draws"])
+    hops_per_walk = sc_est.meta["walk_hops"] / max(walks, 1)
+    spread_rounds = int(hops_est.meta["spread_rounds"])
+    agg_rounds = int(p["agg_rounds"])
+    fanout = int(hops_params.get("gossip_to", 2))
+    structure = {
+        "walks": walks,
+        "hops_per_walk": float(hops_per_walk),
+        "spread_rounds": spread_rounds,
+        "agg_rounds": agg_rounds,
+    }
+    pricings = (
+        lambda: model.sample_collide_delay(walks, hops_per_walk, parallel_walks=False),
+        lambda: model.sample_collide_delay(walks, hops_per_walk, parallel_walks=True),
+        lambda: model.hops_sampling_delay(spread_rounds, fanout=fanout),
+        lambda: model.aggregation_delay(agg_rounds),
+    )
+    wanted = {spec.index: spec for spec in specs}
+    last = max(wanted)
+    if not (0 <= min(wanted) and last < len(pricings)):
+        raise ValueError(
+            f"delay_probe index out of range: have pricings 0..{len(pricings) - 1}"
+        )
+    out: List[TrialResult] = []
+    for i in range(last + 1):
+        breakdown = pricings[i]()
+        spec = wanted.get(i)
+        if spec is None:
+            continue
+        out.append(
+            TrialResult(
+                index=i,
+                value=float(breakdown.total),
+                true_size=float(graph.size),
+                stream=spec.stream,
+                extra={"pricing": DELAY_PRICINGS[i], **structure},
+            )
+        )
+    return out
+
+
+def _run_repair_replay(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Aggregation monitoring under churn *with overlay repair* (Fig 17
+    revisited).  One chunk = one full scenario replay from round 1: churn
+    (``"churn"`` stream), the :class:`RepairPolicySpec`-built maintenance
+    policy (``"rep"`` stream) and the monitor (``"monitor"`` stream) all
+    advance in lock step up to the chunk's highest wanted round, exactly
+    as the serial loop did — a chunk holding only late rounds reproduces
+    the identical prefix because every draw comes from named hub streams.
+    Each trial records the held estimate and true size at its round, plus
+    the *cumulative* repair traffic and failed-epoch count in ``extra``
+    (``messages``/``failures``), so the final round carries the serial
+    run's totals.
+    """
+    first = specs[0]
+    p = first.params
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    driver = RoundDriver()
+    scheduler = ChurnScheduler(
+        graph,
+        _as_trace(p["trace"]),
+        rng=hub.stream("churn"),
+        max_degree=int(p.get("max_degree", 10)),
+    )
+    scheduler.attach(driver)
+    meter = MessageMeter()
+    policy = RepairPolicySpec.from_config(p["repair"]).build(
+        graph, rng=hub.stream("rep"), meter=meter
+    )
+    policy.attach(driver)
+    monitor = AggregationMonitor(
+        graph,
+        restart_interval=int(p["restart_interval"]),
+        rng=hub.stream("monitor"),
+    )
+    monitor.attach(driver)
+    records: List[tuple] = []
+    driver.subscribe(
+        lambda rnd: records.append((graph.size, meter.total, monitor.failures)),
+        priority=30,
+    )
+    if min(spec.index for spec in specs) < 1:
+        raise ValueError("repair_replay indices are 1-based round numbers")
+    last = max(spec.index for spec in specs)
+    driver.run(last)
+
+    wanted = {spec.index: spec for spec in specs}
+    out: List[TrialResult] = []
+    for i in range(1, last + 1):
+        spec = wanted.get(i)
+        if spec is None:
+            continue
+        size, repair_msgs, failures = records[i - 1]
+        out.append(
+            TrialResult(
+                index=i,
+                value=float(monitor.series[i - 1]),
+                true_size=float(size),
+                stream=spec.stream,
+                extra={"messages": int(repair_msgs), "failures": int(failures)},
+            )
+        )
+    return out
+
+
 #: trial kind -> chunk runner.  Extend to open new workloads.
 TRIAL_KINDS: Dict[str, Callable[[Sequence[TrialSpec]], List[TrialResult]]] = {
     "static_probe": _run_static_probe,
     "fresh_probe": _run_fresh_probe,
+    "idspace_probe": _run_idspace_probe,
+    "delay_probe": _run_delay_probe,
     "dynamic_probe": _run_dynamic_probe,
     "multi_probe": _run_multi_probe,
+    "repair_replay": _run_repair_replay,
     "agg_convergence": _run_agg_convergence,
     "agg_epoch": _run_agg_epoch,
     "agg_dynamic": _run_agg_dynamic,

@@ -31,11 +31,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
 import numpy as np
 
 from .rng import RngLike, as_generator
 
-__all__ = ["LatencyModel", "DelayBreakdown", "completion_time_lockstep"]
+__all__ = [
+    "LatencyModel",
+    "LatencySpec",
+    "DelayBreakdown",
+    "completion_time_lockstep",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,42 @@ class DelayBreakdown:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(f"{k}={v:.3f}s" for k, v in self.phases.items())
         return f"{self.total:.3f}s ({inner})"
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Declarative, picklable description of a :class:`LatencyModel`.
+
+    The model itself holds a live generator (it is priced by *consuming*
+    a latency stream), so experiments ship this spec to workers and build
+    the model there against a hub stream — the delay ablation's route into
+    ``repro.runtime``.
+    """
+
+    median_ms: float = 50.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median_ms <= 0:
+            raise ValueError("median_ms must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def build(self, rng: RngLike = None) -> "LatencyModel":
+        """Materialize the model drawing latencies from ``rng``."""
+        return LatencyModel(median_ms=self.median_ms, sigma=self.sigma, rng=rng)
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form for content addressing."""
+        return {"median_ms": float(self.median_ms), "sigma": float(self.sigma)}
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "LatencySpec":
+        """Rebuild a spec from its :meth:`as_config` form (worker side)."""
+        return cls(
+            median_ms=float(config.get("median_ms", 50.0)),
+            sigma=float(config.get("sigma", 0.5)),
+        )
 
 
 class LatencyModel:

@@ -77,6 +77,40 @@ class TestIdentifierSpace:
             space.successor_gaps(0, 5)
 
 
+class TestWithTransform:
+    def test_transform_applied_to_every_id(self):
+        g = OverlayGraph(nodes=range(100))
+        space = IdentifierSpace(g, rng=9)
+        skewed = space.with_transform(lambda pos: pos**3.0)
+        for u in g.nodes():
+            assert skewed.id_of(u) == space.id_of(u) ** 3.0
+
+    def test_original_space_untouched(self):
+        g = OverlayGraph(nodes=range(50))
+        space = IdentifierSpace(g, rng=10)
+        before = {u: space.id_of(u) for u in g.nodes()}
+        space.with_transform(lambda pos: 0.0)
+        assert {u: space.id_of(u) for u in g.nodes()} == before
+
+    def test_power_transform_skews_density(self):
+        # the idspace ablation's adversarial assignment: cubing piles
+        # ids up near 0, so the median id drops well below 0.5
+        g = OverlayGraph(nodes=range(2000))
+        skewed = IdentifierSpace(g, rng=11).with_transform(lambda pos: pos**3.0)
+        skewed.refresh()
+        ids = [skewed.id_of(u) for u in g.nodes()]
+        assert float(np.median(ids)) < 0.25
+
+    def test_registry_transform_matches_inline(self):
+        from repro.core.idspace import make_transform
+
+        fn = make_transform("power", exponent=3.0)
+        assert fn(0.5) == 0.5**3.0
+        assert make_transform("uniform")(0.25) == 0.25
+        with pytest.raises(ValueError):
+            make_transform("zipf")
+
+
 class TestIntervalDensity:
     def test_accuracy_scales_with_k(self):
         g = heterogeneous_random(3_000, rng=9)

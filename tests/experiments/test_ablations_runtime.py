@@ -1,9 +1,11 @@
 """Serial-vs-parallel determinism of the runtime-ported ablation studies.
 
-Every ablation grid point runs as a cached ``fresh_probe`` batch; these
-tests pin the PR's core contract: ``runtime=None``, ``workers=1`` and
-``workers=4`` produce bit-identical tables, and a rerun against a warm
-store is served purely from cache.
+Every ablation grid point runs as a cached trial batch (``fresh_probe``
+for the repetition grids; ``delay_probe``/``idspace_probe``/
+``repair_replay`` for the spec-layer ports); these tests pin the core
+contract: ``runtime=None``, ``workers=1`` and ``workers=4`` produce
+bit-identical tables, and a rerun against a warm store is served purely
+from cache.
 """
 
 from __future__ import annotations
@@ -18,6 +20,9 @@ from repro.experiments.ablations import (
     topology_comparison,
 )
 from repro.experiments.config import Scale
+from repro.experiments.delay import delay_comparison
+from repro.experiments.idspace_exp import idspace_comparison
+from repro.experiments.repair_exp import repair_comparison
 from repro.experiments.timer_exp import sc_timer_sweep
 from repro.runtime import RuntimeOptions
 
@@ -46,6 +51,11 @@ ABLATIONS = [
     pytest.param(
         sc_timer_sweep, {"timers": (1.0, 5.0), "repetitions": 3}, id="sc_timer"
     ),
+    # The last serial holdouts, ported via the declarative spec layer
+    # (LatencySpec / IdSpaceSpec / RepairPolicySpec):
+    pytest.param(delay_comparison, {}, id="delay"),
+    pytest.param(idspace_comparison, {"repetitions": 3}, id="idspace"),
+    pytest.param(repair_comparison, {}, id="repair"),
 ]
 
 
