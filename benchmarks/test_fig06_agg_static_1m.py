@@ -23,7 +23,9 @@ def test_fig06(benchmark):
     for curve in fig.curves:
         assert abs(curve.final() - 100) < 1
     # The larger overlay needs at least as many rounds as the smaller one.
+    # Compare the *median* epoch (3 per figure): the min is one lucky
+    # initiator away from inverting the log N ordering.
     small_fig = fig05_aggregation_100k(scale="small", seed=20060619)
-    big_rounds = min(_rounds_to_one_percent(c) for c in fig.curves)
-    small_rounds = min(_rounds_to_one_percent(c) for c in small_fig.curves)
+    big_rounds = sorted(_rounds_to_one_percent(c) for c in fig.curves)[1]
+    small_rounds = sorted(_rounds_to_one_percent(c) for c in small_fig.curves)[1]
     assert big_rounds >= small_rounds - 2

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Fail on broken intra-repo links in the project's markdown docs.
 
-Scans ``README.md`` and ``docs/*.md`` for inline markdown links
-(``[text](target)``) and verifies that every non-external target resolves
-to an existing file or directory relative to the containing document
-(``#anchor`` suffixes are stripped; pure-anchor and ``http(s)``/``mailto``
-links are skipped — CI must not depend on network reachability).
+Scans ``README.md``, ``ROADMAP.md``, ``CHANGES.md`` and ``docs/*.md`` for
+inline markdown links (``[text](target)``) and verifies that:
 
-Used by the CI docs job; importable from tests.
+* every non-external file target resolves to an existing file or directory
+  relative to the containing document;
+* every ``#anchor`` — pure (``#section``) or suffixed onto a markdown
+  target (``SNAPSHOTS.md#invariants``) — matches a heading slug in the
+  addressed document (GitHub's slug rules: lowercase, punctuation
+  stripped, spaces to hyphens).
+
+``http(s)``/``mailto`` links are skipped — CI must not depend on network
+reachability.  Used by the CI docs job; importable from tests.
 """
 
 from __future__ import annotations
@@ -21,6 +26,10 @@ from typing import Iterable, List
 #: are used in this repo, and nested parens don't appear in targets.
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+
+_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
 _EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -30,28 +39,80 @@ def iter_links(text: str) -> Iterable[str]:
         yield match.group(1)
 
 
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading.
+
+    Inline markup is stripped (code ticks, ``*`` emphasis, link text),
+    then everything but word characters (underscores included — GitHub
+    keeps them), spaces and hyphens is dropped, lowercased, and spaces
+    become hyphens.
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [text](url) -> text
+    text = text.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return re.sub(r" +", "-", text.strip().lower())
+
+
+def heading_anchors(text: str) -> set:
+    """The set of anchor slugs a markdown document exposes.
+
+    Mirrors GitHub's duplicate handling: a repeated heading slug gets
+    ``-1``, ``-2``, … suffixes in document order, and all variants are
+    valid targets.  Fenced code blocks are stripped first — a shell
+    comment like ``# paper fidelity`` inside a fence is not a heading and
+    generates no anchor on GitHub.
+    """
+    text = _FENCE_RE.sub("", text)
+    anchors: set = set()
+    counts: dict = {}
+    for match in _HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
 def check_file(path: pathlib.Path) -> List[str]:
     """Broken-link descriptions for one markdown file (empty = clean)."""
     problems: List[str] = []
-    for target in iter_links(path.read_text(encoding="utf-8")):
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+    text = path.read_text(encoding="utf-8")
+    own_anchors = None  # computed lazily: most docs have no anchor links
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if target.startswith("#"):
+            if own_anchors is None:
+                own_anchors = heading_anchors(text)
+            if target[1:].lower() not in own_anchors:
+                problems.append(f"{path}: broken anchor -> {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
         if not resolved.exists():
             problems.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix.lower() in (".md", ".markdown"):
+            try:
+                anchors = heading_anchors(resolved.read_text(encoding="utf-8"))
+            except OSError:
+                anchors = set()
+            if anchor.lower() not in anchors:
+                problems.append(f"{path}: broken anchor -> {target}")
     return problems
 
 
 def default_docs(root: pathlib.Path) -> List[pathlib.Path]:
     """The documents the CI job validates: the user-facing root docs plus
-    everything under ``docs/`` (so a new doc is covered the moment it
-    lands)."""
+    everything under ``docs/`` (so a new doc — SNAPSHOTS.md being the
+    latest — is covered the moment it lands)."""
     docs = [root / "README.md", root / "ROADMAP.md", root / "CHANGES.md"]
     docs.extend(sorted((root / "docs").glob("*.md")))
     return [d for d in docs if d.exists()]
 
 
 def main(argv: List[str]) -> int:
+    """CLI entry point: check every default doc under the given root."""
     root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path.cwd()
     paths = default_docs(root)
     if not paths:

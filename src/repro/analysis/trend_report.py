@@ -10,13 +10,16 @@ views never drift apart structurally.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
-from ..runtime.trends import (
-    CheckReport,
-    MetricComparison,
-    TrendReport,
-)
+if TYPE_CHECKING:  # imported for annotations only: repro.runtime.trends
+    # imports this module back (rendering split from computation), so a
+    # runtime import here would make `import repro.runtime` order-dependent.
+    from ..runtime.trends import (
+        CheckReport,
+        MetricComparison,
+        TrendReport,
+    )
 
 __all__ = [
     "render_check_report",

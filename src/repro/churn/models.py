@@ -110,6 +110,30 @@ class ChurnTrace:
         """Rewind consumption to the beginning."""
         self._cursor = 0
 
+    @property
+    def cursor(self) -> int:
+        """Number of events already consumed via :meth:`due`.
+
+        Part of the snapshot protocol (``docs/SNAPSHOTS.md``): the cursor
+        plus the (immutable) event list fully describe a trace's
+        consumption state, so a restored trace :meth:`seek`-ed to the same
+        cursor yields identical future :meth:`due` pops.
+        """
+        return self._cursor
+
+    def seek(self, cursor: int) -> None:
+        """Set the consumption cursor (0 = nothing consumed).
+
+        Used when restoring a churn-replay snapshot: the trace is rebuilt
+        fresh from its payload, then fast-forwarded here instead of
+        replaying :meth:`due` calls.
+        """
+        if not (0 <= cursor <= len(self._events)):
+            raise ValueError(
+                f"cursor {cursor} out of range for trace of {len(self._events)} events"
+            )
+        self._cursor = int(cursor)
+
     def net_change(self, initial: int) -> int:
         """Expected final population after the whole trace (fractions are
         resolved sequentially against the running population)."""

@@ -17,11 +17,11 @@ ways, because the paper's dynamic figures use two different x-axes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 from ..overlay.graph import OverlayGraph
 from ..overlay.membership import MembershipPolicy
-from ..sim.rng import RngLike
+from ..sim.rng import RngLike, generator_from_state, generator_state
 from ..sim.rounds import PRIORITY_CHURN, RoundDriver
 from .models import ChurnTrace
 
@@ -109,6 +109,55 @@ class ChurnScheduler:
             priority=PRIORITY_CHURN,
             label="churn",
         )
+
+    # ------------------------------------------------------------------
+    # state hand-off (docs/SNAPSHOTS.md)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data capture of the replay state at the current instant.
+
+        Covers everything the scheduler's *future behaviour* depends on:
+        the overlay (with its insertion-order contract), the victim/wiring
+        generator state, and the trace cursor.  Deliberately excluded, to
+        keep payloads O(overlay) rather than O(overlay + horizon): the
+        trace's events (they travel in the trial spec's params and are
+        re-supplied to :meth:`restore`) and the applied-event audit log
+        (no replay consumer reads it — a restored scheduler's
+        :attr:`log`/:meth:`total_applied` cover only post-restore events).
+        """
+        return {
+            "graph": self.graph.snapshot(),
+            "rng": generator_state(self.policy.rng),
+            "cursor": self.trace.cursor,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snap: Mapping[str, Any],
+        trace: ChurnTrace,
+        max_degree: int = 10,
+        min_degree: int = 1,
+    ) -> "ChurnScheduler":
+        """Rebuild a scheduler (and its overlay) from a :meth:`snapshot`.
+
+        ``trace`` must be a *fresh* trace built from the same payload the
+        captured scheduler consumed; it is fast-forwarded to the recorded
+        cursor.  The restored scheduler's :meth:`advance_to` calls mutate
+        the overlay bit-identically to the captured one's; its audit log
+        starts empty (see :meth:`snapshot`).
+        """
+        graph = OverlayGraph.restore(snap["graph"])
+        sched = cls(
+            graph,
+            trace,
+            rng=generator_from_state(snap["rng"]),
+            max_degree=max_degree,
+            min_degree=min_degree,
+        )
+        trace.seek(int(snap["cursor"]))
+        return sched
 
     # ------------------------------------------------------------------
 

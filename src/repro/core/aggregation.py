@@ -43,13 +43,13 @@ after churn) and run the contact loop over plain Python lists, which are
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..overlay.graph import CsrView, OverlayGraph
 from ..sim.messages import MessageKind, MessageMeter
-from ..sim.rng import RngLike, as_generator
+from ..sim.rng import RngLike, as_generator, generator_from_state, generator_state
 from ..sim.rounds import PRIORITY_PROTOCOL, RoundDriver
 from .base import Estimate, EstimatorError
 
@@ -262,6 +262,56 @@ class AggregationProtocol:
         )
 
     # ------------------------------------------------------------------
+    # state hand-off (docs/SNAPSHOTS.md)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data capture of the epoch state, including the generator.
+
+        The meter is an injected dependency captured by the caller (in the
+        ``repair_replay`` hand-off the relevant meter is the repair one;
+        the protocol's internal exchange meter does not influence any
+        recorded result).  Values are listed in the flushed dict's
+        iteration order so a restored protocol's value dict iterates
+        identically — keeping even order-sensitive reductions
+        (:meth:`total_mass`) bit-stable.
+        """
+        self._flush_cache()
+        return {
+            "epoch": self._epoch,
+            "rounds_in_epoch": self._rounds_in_epoch,
+            "initiator": self._initiator,
+            "rng": generator_state(self.rng),
+            "nodes": list(self._values.keys()),
+            "values": list(self._values.values()),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        graph: OverlayGraph,
+        snap: Mapping[str, Any],
+        meter: Optional[MessageMeter] = None,
+    ) -> "AggregationProtocol":
+        """Rebuild a protocol mid-epoch from a :meth:`snapshot` payload.
+
+        ``graph`` (and ``meter``, when accounting matters) must themselves
+        be restored to the captured instant — the replay-state classes in
+        ``repro.runtime.snapshots`` orchestrate that.  The generator is
+        rebuilt from the captured state, so future rounds proceed
+        bit-identically to the uninterrupted run.
+        """
+        proto = cls(graph, rng=generator_from_state(snap["rng"]), meter=meter)
+        proto._epoch = int(snap["epoch"])
+        proto._rounds_in_epoch = int(snap["rounds_in_epoch"])
+        initiator = snap.get("initiator")
+        proto._initiator = None if initiator is None else int(initiator)
+        proto._values = {
+            int(u): float(v) for u, v in zip(snap["nodes"], snap["values"])
+        }
+        return proto
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
@@ -378,6 +428,49 @@ class AggregationMonitor:
         if proto.epoch > 0 and self.graph.size > 0:
             proto.run_round()
         self.series.append(self._current_hold)
+
+    # ------------------------------------------------------------------
+    # state hand-off (docs/SNAPSHOTS.md)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data capture of the monitor: protocol state + held estimate.
+
+        ``series`` (the per-round staircase) is deliberately *not*
+        captured: a restored monitor appends from an empty list, and the
+        chunk runner maps absolute round numbers onto that local list —
+        snapshots stay O(overlay), not O(rounds elapsed).
+        """
+        return {
+            "protocol": self.protocol.snapshot(),
+            "epoch_estimates": [[int(r), float(e)] for r, e in self.epoch_estimates],
+            "hold": self._current_hold,
+            "failures": self._failures,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        graph: OverlayGraph,
+        snap: Mapping[str, Any],
+        restart_interval: int,
+        meter: Optional[MessageMeter] = None,
+    ) -> "AggregationMonitor":
+        """Rebuild a monitor mid-run from a :meth:`snapshot` payload.
+
+        As with :meth:`AggregationProtocol.restore`, the injected ``graph``
+        (and ``meter``) must be restored to the same instant; the
+        generator comes out of the protocol payload.  ``restart_interval``
+        comes from the trial spec — it is configuration, not state.
+        """
+        mon = cls(graph, restart_interval=restart_interval, meter=meter)
+        mon.protocol = AggregationProtocol.restore(graph, snap["protocol"], meter=meter)
+        mon.epoch_estimates = [
+            (int(r), float(e)) for r, e in snap.get("epoch_estimates", [])
+        ]
+        mon._current_hold = float(snap["hold"])
+        mon._failures = int(snap["failures"])
+        return mon
 
     def _close_epoch(self, round_number: int) -> None:
         try:

@@ -196,6 +196,16 @@ def _add_run_parser(subparsers) -> None:
         help="recompute even when the cache holds the experiment (and refresh it)",
     )
     run.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help=(
+            "disable scheduler-snapshot hand-off for churn-replay "
+            "experiments and replay each chunk's churn prefix from t=0 "
+            "instead (slower at paper scale; results are bit-identical "
+            "either way — see docs/SNAPSHOTS.md)"
+        ),
+    )
+    run.add_argument(
         "--progress",
         action="store_true",
         help="log trial progress to stderr",
@@ -437,6 +447,7 @@ def _runtime_options(args, tag: Optional[str] = None) -> RuntimeOptions:
         force=args.force,
         progress=LogProgress() if args.progress else None,
         tag=tag,
+        snapshots=not getattr(args, "no_snapshot", False),
     )
 
 
@@ -518,6 +529,17 @@ def _cmd_cache_stats(store: ResultsStore) -> int:
     sys.stdout.write(f"store:          {store.root}\n")
     sys.stdout.write(f"artifacts:      {st.artifacts}\n")
     sys.stdout.write(f"total size:     {_format_size(st.total_bytes)}\n")
+    # Result and snapshot payloads are reported separately so a
+    # `gc --max-size` budget can be reasoned about honestly: snapshots
+    # are recomputable accelerators, results are the cached science.
+    sys.stdout.write(
+        f"  results:      {_format_size(st.total_bytes - st.snapshot_bytes)} "
+        f"({st.artifacts - st.snapshot_artifacts} artifact(s))\n"
+    )
+    sys.stdout.write(
+        f"  snapshots:    {_format_size(st.snapshot_bytes)} "
+        f"({st.snapshot_artifacts} artifact(s))\n"
+    )
     sys.stdout.write(f"cached trials:  {st.trials}\n")
     sys.stdout.write(f"hit artifacts:  {st.hit_artifacts}\n")
     sys.stdout.write(f"stale schema:   {st.stale_schema}\n")

@@ -9,8 +9,8 @@ links with other nodes").
 
 Two representations are kept in sync:
 
-* a mutable adjacency map (``dict[int, set[int]]``) supporting O(1) joins,
-  leaves and link edits — the source of truth;
+* a mutable adjacency map (``dict[int, dict[int, None]]``) supporting O(1)
+  joins, leaves and link edits — the source of truth;
 * an immutable CSR snapshot (:class:`CsrView`) rebuilt lazily after
   mutations, used by every vectorized kernel (gossip spread, BFS, neighbour
   sampling).  Per the HPC guides, all hot loops operate on these flat,
@@ -19,12 +19,23 @@ Two representations are kept in sync:
 Node identifiers are opaque non-negative integers.  Identifiers of departed
 nodes are never reused within one graph's lifetime, which lets churn traces
 and estimator logs refer to nodes unambiguously.
+
+Determinism contract (see ``docs/SNAPSHOTS.md``): node order and
+per-node neighbour order are **insertion order**, a language-level dict
+guarantee.  Every consumer of adjacency order (CSR row layout, hence
+``CsrView.sample_neighbors``; ``random_neighbor``; join candidate lists)
+therefore behaves as a pure function of the operation history — and a
+graph rebuilt from :meth:`OverlayGraph.snapshot` is *behaviorally
+identical* to the live one for all future operations, which is what makes
+mid-replay state hand-off between worker processes bit-exact.  (Neighbour
+sets would not give this: CPython set iteration order depends on internal
+table history that no reconstruction can reproduce.)
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, KeysView, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -188,7 +199,10 @@ class OverlayGraph:
         nodes: Optional[Iterable[int]] = None,
         edges: Optional[Iterable[Tuple[int, int]]] = None,
     ) -> None:
-        self._adj: Dict[int, Set[int]] = {}
+        # Neighbour containers are insertion-ordered dicts (value always
+        # None), NOT sets: iteration order must be a restorable part of the
+        # graph's deterministic contract (module docstring).
+        self._adj: Dict[int, Dict[int, None]] = {}
         self._next_id = 0
         self._csr: Optional[CsrView] = None
         self._edge_count = 0
@@ -233,10 +247,14 @@ class OverlayGraph:
                 if u < v:
                     yield (u, v)
 
-    def neighbors(self, node: int) -> Set[int]:
-        """The (live) neighbour set of ``node`` — do not mutate."""
+    def neighbors(self, node: int) -> KeysView[int]:
+        """The (live) neighbours of ``node``, in insertion order.
+
+        The returned view supports the full set API (membership, length,
+        iteration, comparisons) — do not mutate the underlying container.
+        """
         try:
-            return self._adj[node]
+            return self._adj[node].keys()
         except KeyError:
             raise GraphError(f"node {node} is not in the overlay") from None
 
@@ -289,7 +307,7 @@ class OverlayGraph:
             raise GraphError("node ids must be non-negative")
         if node in self._adj:
             raise GraphError(f"node {node} already present")
-        self._adj[node] = set()
+        self._adj[node] = {}
         self._next_id = max(self._next_id, node + 1)
         self._csr = None
         return node
@@ -310,7 +328,7 @@ class OverlayGraph:
         if nbrs is None:
             raise GraphError(f"node {node} is not in the overlay")
         for v in nbrs:
-            self._adj[v].discard(node)
+            self._adj[v].pop(node, None)
         self._edge_count -= len(nbrs)
         self._csr = None
 
@@ -322,8 +340,8 @@ class OverlayGraph:
             raise GraphError(f"both endpoints must exist (got {u}, {v})")
         if v in self._adj[u]:
             raise GraphError(f"edge ({u}, {v}) already present")
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        self._adj[u][v] = None
+        self._adj[v][u] = None
         self._edge_count += 1
         self._csr = None
 
@@ -332,8 +350,8 @@ class OverlayGraph:
         duplicates/self-loops. Used by randomized builders."""
         if u == v or u not in self._adj or v not in self._adj or v in self._adj[u]:
             return False
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        self._adj[u][v] = None
+        self._adj[v][u] = None
         self._edge_count += 1
         self._csr = None
         return True
@@ -342,8 +360,8 @@ class OverlayGraph:
         """Delete the undirected edge ``{u, v}``."""
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u}, {v}) is not in the overlay")
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        self._adj[u].pop(v, None)
+        self._adj[v].pop(u, None)
         self._edge_count -= 1
         self._csr = None
 
@@ -406,11 +424,56 @@ class OverlayGraph:
             )
 
     def copy(self) -> "OverlayGraph":
-        """Deep copy (snapshot caches are not shared)."""
+        """Deep copy (snapshot caches are not shared).
+
+        The copy preserves node and neighbour iteration order, so it is
+        behaviorally identical to the original for all future operations.
+        """
         g = OverlayGraph()
-        g._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
         g._next_id = self._next_id
         g._edge_count = self._edge_count
+        return g
+
+    # ------------------------------------------------------------------
+    # state hand-off (docs/SNAPSHOTS.md)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data state capture: JSON-able, picklable, content-hashable.
+
+        Returns ``{"nodes": [...], "adj": [[...], ...], "next_id": n}``
+        where both node and per-node neighbour lists are in live iteration
+        (= insertion) order.  :meth:`restore` rebuilds a graph that is
+        *behaviorally identical* to this one — every future mutation,
+        CSR build and neighbour sample proceeds exactly as it would have
+        on the original — which is the invariant the chunk hand-off
+        protocol (``repro.runtime.snapshots``) relies on.
+        """
+        return {
+            "nodes": list(self._adj),
+            "adj": [list(nbrs) for nbrs in self._adj.values()],
+            "next_id": self._next_id,
+        }
+
+    @classmethod
+    def restore(cls, snap: Mapping[str, Any]) -> "OverlayGraph":
+        """Rebuild a graph from a :meth:`snapshot` payload.
+
+        Inverse of :meth:`snapshot`; validates nothing beyond basic shape
+        (payloads come from our own snapshot chain or the content-addressed
+        store, both of which hash the producing configuration).
+        """
+        g = cls()
+        # Ids are born plain ints in snapshot(), and both transports
+        # (pickle, JSON) preserve that — no per-element coercion needed.
+        adj: Dict[int, Dict[int, None]] = {
+            u: dict.fromkeys(nbrs)
+            for u, nbrs in zip(snap["nodes"], snap["adj"])
+        }
+        g._adj = adj
+        g._edge_count = sum(len(nbrs) for nbrs in adj.values()) // 2
+        g._next_id = int(snap["next_id"])
         return g
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

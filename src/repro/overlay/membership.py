@@ -62,6 +62,15 @@ class MembershipPolicy:
         self.min_degree = min_degree
         self._rng = as_generator(rng, "membership")
 
+    @property
+    def rng(self) -> "np.random.Generator":
+        """The live generator victim selection and join wiring draw from.
+
+        Exposed so the churn scheduler's snapshot protocol can capture its
+        state (``repro.sim.rng.generator_state``).
+        """
+        return self._rng
+
     # ------------------------------------------------------------------
 
     def join(self, count: int = 1) -> JoinReport:

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..sim.messages import MessageKind, MessageMeter
-from ..sim.rng import RngLike, as_generator
+from ..sim.rng import RngLike, as_generator, generator_from_state, generator_state
 from ..sim.rounds import PRIORITY_CHURN, RoundDriver
 from .graph import OverlayGraph
 
@@ -74,6 +74,34 @@ class RepairPolicy(abc.ABC):
             priority=PRIORITY_REPAIR,
             label=type(self).__name__,
         )
+
+    # ------------------------------------------------------------------
+    # state hand-off (docs/SNAPSHOTS.md)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data capture of the policy's mutable state.
+
+        Policies are configuration + a generator + a counter; the
+        configuration travels as a :class:`RepairPolicySpec` in the trial
+        spec, so only the generator state and ``links_formed`` are
+        captured here.  Restore by rebuilding from the spec with
+        ``rng=generator_from_state(...)`` and applying
+        :meth:`apply_snapshot`.
+        """
+        return {
+            "rng": generator_state(self.rng),
+            "links_formed": int(self.links_formed),
+        }
+
+    def apply_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Adopt the mutable state captured by :meth:`snapshot`.
+
+        The generator is replaced (not advanced), so future repair rounds
+        draw bit-identically to the captured policy's.
+        """
+        self.rng = generator_from_state(snap["rng"])
+        self.links_formed = int(snap["links_formed"])
 
     # ------------------------------------------------------------------
 

@@ -12,7 +12,11 @@ hits.
 Determinism contract: every trial derives its randomness from
 ``(hub_seed, trial index)`` via :class:`~repro.sim.rng.RngHub` child
 streams, never from execution order or worker identity, so parallel results
-are bit-identical to serial ones.
+are bit-identical to serial ones.  Churn-replay kinds additionally hand
+scheduler-state snapshots between chunks
+(:mod:`~repro.runtime.snapshots`, ``docs/SNAPSHOTS.md``) so chunked
+replay is O(horizon) total — an execution detail that never changes
+results or content addresses.
 
 Entry points: :func:`~repro.runtime.api.run_trials` and
 :func:`~repro.runtime.api.sweep`.
@@ -28,6 +32,13 @@ from .api import (
 )
 from .pool import TrialExecutor, chunk_specs
 from .progress import LogProgress, NullProgress, ProgressReporter, TelemetryCollector
+from .snapshots import (
+    SNAPSHOT_KINDS,
+    SNAPSHOT_SCHEMA_VERSION,
+    ProbeReplayState,
+    RepairReplayState,
+    snapshot_config,
+)
 from .provenance import detect_git_revision, metric_values, summarize_results
 from .store import (
     ArtifactInfo,
@@ -83,11 +94,15 @@ __all__ = [
     "StoreStats",
     "NullProgress",
     "OverlaySpec",
+    "ProbeReplayState",
     "RepairPolicySpec",
+    "RepairReplayState",
     "ProgressReporter",
     "ResultsStore",
     "RuntimeOptions",
     "SCHEMA_VERSION",
+    "SNAPSHOT_KINDS",
+    "SNAPSHOT_SCHEMA_VERSION",
     "TelemetryCollector",
     "TrendRecord",
     "TrendReport",
@@ -110,6 +125,7 @@ __all__ = [
     "run_trials",
     "scan_stores",
     "series_from_results",
+    "snapshot_config",
     "summarize_results",
     "supports_runtime",
     "sweep",

@@ -67,6 +67,12 @@ class RuntimeOptions:
     #: ``None`` auto-detects ($REPRO_GIT_REVISION, then ``git rev-parse``);
     #: like ``tag``, provenance only — never part of the content address.
     revision: Optional[str] = None
+    #: Snapshot hand-off for churn-replay kinds (docs/SNAPSHOTS.md).  True
+    #: (default) makes chunked replay O(horizon) total; False — the CLI's
+    #: ``--no-snapshot`` — preserves the historical prefix-replay dispatch.
+    #: Execution detail only: results and content addresses are identical
+    #: either way, so this never invalidates a cache.
+    snapshots: bool = True
 
     @classmethod
     def create(
@@ -78,6 +84,7 @@ class RuntimeOptions:
         chunk_size: Optional[int] = None,
         tag: Optional[str] = None,
         revision: Optional[str] = None,
+        snapshots: bool = True,
     ) -> "RuntimeOptions":
         """Convenience constructor mapping CLI-level values to options."""
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
@@ -89,6 +96,7 @@ class RuntimeOptions:
             progress=progress,
             tag=tag,
             revision=revision,
+            snapshots=snapshots,
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
@@ -137,6 +145,11 @@ def run_trials(
 ) -> List[TrialResult]:
     """Run a batch of trials with caching and parallel dispatch.
 
+    Determinism contract: the returned results are bit-identical for any
+    ``workers``/``chunk_size``/``snapshots`` setting and for cache hits,
+    because every trial's randomness derives from ``(hub_seed, index)``
+    alone and chunked churn replay — snapshot hand-off or prefix replay —
+    reproduces the exact serial scenario states (``docs/SNAPSHOTS.md``).
     Keyword arguments override the corresponding ``runtime`` fields, so
     callers can pass a shared :class:`RuntimeOptions` and still specialize
     one knob locally.  ``tag`` labels the saved artifact for ``cache ls``
@@ -164,7 +177,11 @@ def run_trials(
             return cached
 
     executor = TrialExecutor(
-        workers=workers, chunk_size=chunk_size, progress=progress
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=progress,
+        snapshots=runtime.snapshots,
+        snapshot_store=store if runtime.snapshots else None,
     )
     started = time.perf_counter()
     results = executor.run(specs)
@@ -204,7 +221,10 @@ def sweep(
 
     ``spec_factory(value)`` must return the spec batch for that point;
     each point is content-addressed independently, so re-running a sweep
-    after adding grid values only computes the new points.
+    after adding grid values only computes the new points.  Each batch
+    runs under :func:`run_trials`' determinism contract, and grid points
+    that share a churn scenario (e.g. an estimator-parameter sweep over
+    one trace) also share its cached boundary snapshots.
     """
     out: Dict[Any, List[TrialResult]] = {}
     for value in values:

@@ -6,11 +6,28 @@ pickled task submissions small.  Results are merged in ``(index, stream)``
 order, so the caller sees the exact sequence a serial run would have
 produced regardless of which worker finished first.
 
+For the churn-replay kinds (:data:`~repro.runtime.snapshots.SNAPSHOT_KINDS`)
+parallel dispatch is *pipelined*: the executor advances one replay — the
+snapshot backbone — and hands each chunk its predecessor's boundary
+state, so a chunk resumes mid-scenario instead of replaying the churn
+prefix from t=0.  Total replay work drops from O(horizon²/chunk) to
+O(horizon).  For the probe kinds the backbone is churn-only (estimations
+draw from stateless child hubs and stay fully parallel in the workers);
+for ``repair_replay`` churn, repair and the monitoring protocol are one
+inseparable scenario, so the backbone replays all of it — still a single
+O(horizon) pass replacing the C/2 prefix replays chunking used to cost.
+Results are bit-identical either way (``snapshots=False`` restores the
+historical prefix-replay dispatch).  Boundary snapshots are content-
+addressed into the results store when one is configured, so warm re-runs
+skip the backbone too.
+
 Fallbacks are graceful and explicit: ``workers <= 1`` never spawns a
 process; batches holding live objects (graphs, closures) are not picklable
-and run serially in one chunk; and any pool-level failure to *dispatch*
-(pickling error, missing multiprocessing support) downgrades to the serial
-path after reporting via the progress callback.
+and run serially in one chunk (the single replay loop *is* the direct
+serial hand-off — state simply persists across indices); and any
+pool-level failure to *dispatch* (pickling error, missing multiprocessing
+support) downgrades to the serial path after reporting via the progress
+callback.
 """
 
 from __future__ import annotations
@@ -19,9 +36,10 @@ import math
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 from .progress import NullProgress, ProgressReporter
+from .snapshots import SNAPSHOT_KINDS, snapshot_config
 from .trials import TrialResult, TrialSpec, run_chunk
 
 __all__ = ["TrialExecutor", "chunk_specs"]
@@ -47,6 +65,64 @@ def chunk_specs(
     ]
 
 
+class _SnapshotBackbone:
+    """Driver-side churn-only replay feeding boundary snapshots to chunks.
+
+    One instance serves one pipelined batch: it advances a single replay
+    state through the chunk boundaries in order (O(horizon) total work)
+    and captures a pure-data snapshot at each.  When a store is attached,
+    boundaries are looked up before computing and saved after — the
+    content address (:func:`~repro.runtime.snapshots.snapshot_config`)
+    covers only the scenario prefix, so any batch replaying the same
+    scenario shares them.  Store hits are adopted lazily: the payload is
+    handed out immediately and only materialized into a live state if a
+    later boundary misses and must be advanced to.
+    """
+
+    def __init__(self, spec: TrialSpec, store) -> None:
+        self.spec = spec
+        self.store = store
+        self.state_cls = SNAPSHOT_KINDS[spec.kind]
+        self._state = None
+        self._adopt: Optional[Mapping[str, Any]] = None
+
+    def payload_at(self, target: int) -> Optional[Mapping[str, Any]]:
+        """Snapshot payload at boundary ``target`` (``None`` = no hand-off).
+
+        Boundary 0 is the freshly built scenario before any churn — worth
+        handing off too, because restoring an overlay from pure data is an
+        order of magnitude cheaper than rebuilding it from its RNG stream.
+        Returns ``None`` for negative boundaries and for non-monotone
+        chunk layouts the backbone cannot serve — the chunk then falls
+        back to prefix replay, which is always correct.
+        """
+        if target < 0:
+            return None
+        config = snapshot_config(self.spec, target)
+        if self.store is not None:
+            cached = self.store.load_snapshot(config)
+            if cached is not None:
+                self._adopt = cached
+                return cached
+        if self._adopt is not None:
+            self._state = self.state_cls.restore(self.spec, self._adopt)
+            self._adopt = None
+        if self._state is None:
+            self._state = self.state_cls.boot(self.spec)
+        if target < self._state.position:
+            return None
+        self._state.advance(target)
+        payload = self._state.snapshot()
+        if self.store is not None:
+            try:
+                self.store.save_snapshot(
+                    config, payload, meta={"tag": f"snapshot:{self.spec.kind}"}
+                )
+            except OSError:  # read-only store: snapshots are best-effort
+                pass
+        return payload
+
+
 class TrialExecutor:
     """Runs a batch of :class:`TrialSpec` serially or over worker processes.
 
@@ -59,6 +135,14 @@ class TrialExecutor:
         ``workers * CHUNKS_PER_WORKER`` chunks).
     progress:
         Optional :class:`ProgressReporter` for telemetry.
+    snapshots:
+        When True (default), churn-replay kinds dispatch with pipelined
+        snapshot hand-off (module docstring); False forces the historical
+        prefix-replay dispatch.  Results are bit-identical either way.
+    snapshot_store:
+        Optional :class:`~repro.runtime.store.ResultsStore` boundary
+        snapshots are cached in (never consulted when ``snapshots`` is
+        False).
     """
 
     def __init__(
@@ -66,12 +150,16 @@ class TrialExecutor:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         progress: Optional[ProgressReporter] = None,
+        snapshots: bool = True,
+        snapshot_store=None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = max(1, int(workers))
         self.chunk_size = chunk_size
         self.progress = progress if progress is not None else NullProgress()
+        self.snapshots = bool(snapshots)
+        self.snapshot_store = snapshot_store
 
     def _auto_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -107,11 +195,15 @@ class TrialExecutor:
         chunks = chunk_specs(specs, self._auto_chunk_size(len(specs)))
         if len(chunks) == 1:
             return run_chunk(specs)
+        pipelined = self.snapshots and specs[0].kind in SNAPSHOT_KINDS
         try:
             results: List[TrialResult] = []
             done = 0
             with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-                futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+                if pipelined:
+                    futures = self._submit_pipelined(pool, chunks)
+                else:
+                    futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
                 for future in as_completed(futures):
                     part = future.result()
                     results.extend(part)
@@ -121,3 +213,21 @@ class TrialExecutor:
         except (pickle.PicklingError, ImportError, OSError) as exc:
             self.progress.on_fallback(f"process pool unavailable ({exc})")
             return run_chunk(specs)
+
+    def _submit_pipelined(self, pool: ProcessPoolExecutor, chunks) -> List:
+        """Submit chunks with snapshot hand-off (churn-replay kinds).
+
+        Every chunk — including the first, whose boundary is the freshly
+        built scenario at index 0 — is submitted as soon as the backbone
+        has its start-boundary snapshot: the snapshot at
+        ``min(chunk indices) - 1``, i.e. the predecessor chunk's end
+        state.  Workers restore instead of rebuilding the overlay and
+        replaying the churn prefix, so estimation overlaps with the
+        backbone's cheap churn-only advance.
+        """
+        backbone = _SnapshotBackbone(chunks[0][0], self.snapshot_store)
+        futures = []
+        for chunk in chunks:
+            target = min(spec.index for spec in chunk) - 1
+            futures.append(pool.submit(run_chunk, chunk, backbone.payload_at(target)))
+        return futures

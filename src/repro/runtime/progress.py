@@ -57,20 +57,25 @@ class LogProgress(ProgressReporter):
         self.stream.flush()
 
     def on_start(self, total: int, workers: int) -> None:
+        """Log the batch size and execution mode."""
         self._started = time.perf_counter()
         mode = f"{workers} workers" if workers > 1 else "serial"
         self._emit(f"running {total} trials ({mode})")
 
     def on_progress(self, done: int, total: int) -> None:
+        """Log completed-trial counts as chunks finish."""
         self._emit(f"{done}/{total} trials done")
 
     def on_cache_hit(self, total: int) -> None:
+        """Log that the batch was served from the store."""
         self._emit(f"cache hit: {total} trials loaded from store")
 
     def on_fallback(self, reason: str) -> None:
+        """Log a downgrade to the serial path and why."""
         self._emit(f"falling back to serial execution: {reason}")
 
     def on_finish(self, done: int, elapsed: float) -> None:
+        """Log the final count and wall-clock."""
         self._emit(f"finished {done} trials in {elapsed:.1f}s")
 
 
@@ -84,18 +89,23 @@ class TelemetryCollector(ProgressReporter):
         self.events.append({"event": kind, **data})
 
     def on_start(self, total: int, workers: int) -> None:
+        """Record a start event."""
         self._record("start", total=total, workers=workers)
 
     def on_progress(self, done: int, total: int) -> None:
+        """Record a progress event."""
         self._record("progress", done=done, total=total)
 
     def on_cache_hit(self, total: int) -> None:
+        """Record a cache-hit event."""
         self._record("cache_hit", total=total)
 
     def on_fallback(self, reason: str) -> None:
+        """Record a fallback event."""
         self._record("fallback", reason=reason)
 
     def on_finish(self, done: int, elapsed: float) -> None:
+        """Record a finish event."""
         self._record("finish", done=done, elapsed=elapsed)
 
     def count(self, kind: str) -> int:

@@ -39,6 +39,13 @@ age, trial count), :meth:`ResultsStore.stats` aggregates it, and
 these.  A cache *hit* bumps the artifact's access time (its ``atime``,
 never the ``mtime``), so recency of use is observable without rewriting
 artifacts.
+
+Besides result batches the store holds replay-state *snapshots*
+(:meth:`ResultsStore.save_snapshot`/:meth:`ResultsStore.load_snapshot`,
+``docs/SNAPSHOTS.md``): separately addressed, marked
+``payload: "snapshot"`` in their headers, accounted apart from result
+bytes by :meth:`ResultsStore.stats`, and reclaimed by ``gc`` like
+anything else — they are recomputable accelerators, never source data.
 """
 
 from __future__ import annotations
@@ -169,6 +176,9 @@ class ArtifactInfo:
     tag: str = ""
     trials: int = 0
     schema: Optional[int] = None
+    #: What the artifact holds: ``"results"`` (a trial batch) or
+    #: ``"snapshot"`` (a replay-state boundary, see docs/SNAPSHOTS.md).
+    payload: str = "results"
     #: Git commit the producing code was at ("" when unknown).
     revision: str = ""
     #: Logical-experiment identity (:func:`group_key`; "" on old artifacts).
@@ -192,7 +202,14 @@ class ArtifactInfo:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Aggregate view of a store directory (``cache stats``)."""
+    """Aggregate view of a store directory (``cache stats``).
+
+    ``artifacts``/``total_bytes`` cover *everything* on disk — that is
+    what a ``gc --max-size`` budget applies to — while
+    ``snapshot_artifacts``/``snapshot_bytes`` break out the replay-state
+    snapshots so result payloads and snapshot payloads can be accounted
+    separately (``result_bytes = total_bytes - snapshot_bytes``).
+    """
 
     artifacts: int
     total_bytes: int
@@ -202,6 +219,8 @@ class StoreStats:
     oldest_age_seconds: float
     newest_age_seconds: float
     by_tag: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    snapshot_artifacts: int = 0
+    snapshot_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -219,6 +238,7 @@ class GCReport:
 
     @property
     def evicted_bytes(self) -> int:
+        """Total bytes the pass reclaimed (or would reclaim)."""
         return sum(a.size_bytes for a in self.evicted)
 
 
@@ -328,6 +348,64 @@ class ResultsStore:
         except OSError:  # pragma: no cover - filesystem-dependent
             pass
 
+    def save_snapshot(
+        self,
+        config: Any,
+        payload: Any,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Persist a replay-state snapshot under ``config``'s address.
+
+        Snapshot configurations (see
+        :func:`repro.runtime.snapshots.snapshot_config`) are disjoint from
+        batch configurations by construction, so snapshot artifacts can
+        never shadow result artifacts.  The header marks the artifact with
+        ``payload: "snapshot"`` so lifecycle tooling (``cache ls|stats``)
+        can account snapshot bytes separately from result bytes; ``gc``
+        treats both uniformly — snapshots are pure accelerators that can
+        always be recomputed.
+        """
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = dict(meta or {})
+        meta["payload"] = "snapshot"
+        meta.setdefault("git_revision", detect_git_revision())
+        meta.setdefault("store_schema_version", SCHEMA_VERSION)
+        meta.setdefault("saved_at", time.time())
+        artifact = {
+            "schema": SCHEMA_VERSION,
+            "meta": meta,
+            "config": _normalize(config),
+            "snapshot": _encode_floats(payload),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(artifact, fh, allow_nan=False)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load_snapshot(self, config: Any) -> Optional[Any]:
+        """A snapshot previously saved for ``config``, or ``None`` on a miss.
+
+        Like :meth:`load`, unreadable or schema-mismatched artifacts are
+        misses, never errors, and a hit bumps the artifact's atime.
+        """
+        path = self.path_for(config)
+        try:
+            with path.open() as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if artifact.get("schema") != SCHEMA_VERSION or "snapshot" not in artifact:
+            return None
+        self._record_hit(path)
+        return _decode_floats(artifact["snapshot"])
+
     def contains(self, config: Any) -> bool:
         """True when an artifact for ``config`` exists on disk."""
         return self.path_for(config).exists()
@@ -425,6 +503,7 @@ class ResultsStore:
                     tag=str(meta.get("tag", "")),
                     trials=int(meta.get("trials", 0) or 0),
                     schema=artifact.get("schema"),
+                    payload=str(meta.get("payload", "results") or "results"),
                     revision=str(meta.get("git_revision", "") or ""),
                     group=str(meta.get("group", "") or ""),
                     saved_at=saved_at,
@@ -446,6 +525,7 @@ class ResultsStore:
             bucket["bytes"] += info.size_bytes
             bucket["trials"] += info.trials
         ages = [info.age_seconds(now) for info in infos]
+        snapshots = [i for i in infos if i.payload == "snapshot"]
         return StoreStats(
             artifacts=len(infos),
             total_bytes=sum(i.size_bytes for i in infos),
@@ -455,6 +535,8 @@ class ResultsStore:
             oldest_age_seconds=max(ages) if ages else 0.0,
             newest_age_seconds=min(ages) if ages else 0.0,
             by_tag=by_tag,
+            snapshot_artifacts=len(snapshots),
+            snapshot_bytes=sum(i.size_bytes for i in snapshots),
         )
 
     def gc(

@@ -104,6 +104,7 @@ class TrendRecord:
 
     @property
     def tag(self) -> str:
+        """The artifact's experiment label (half of the group identity)."""
         return self.info.tag
 
     @property
@@ -141,6 +142,7 @@ def discover_stores(root: Union[str, pathlib.Path], max_depth: int = 2) -> List[
     found: List[pathlib.Path] = []
 
     def walk(path: pathlib.Path, depth: int) -> None:
+        """Collect store roots under ``path`` up to ``max_depth``."""
         if _is_store_root(path):
             found.append(path)
             return
@@ -187,6 +189,10 @@ def scan_stores(
     for root in roots:
         for store_root in discover_stores(root):
             for info in ResultsStore(store_root).artifacts():
+                if info.payload == "snapshot":
+                    # Replay-state snapshots (docs/SNAPSHOTS.md) carry no
+                    # metrics and must not masquerade as experiment runs.
+                    continue
                 group = info.group
                 metrics: Dict[str, Any] = dict(info.metrics or {})
                 if not group:
@@ -288,6 +294,7 @@ class GroupTrend:
 
     @property
     def drifted(self) -> bool:
+        """True when any metric of this experiment drifted."""
         return any(m.drifted for m in self.metrics)
 
 
@@ -301,6 +308,7 @@ class TrendReport:
 
     @property
     def drifted(self) -> bool:
+        """True when any experiment in the report drifted."""
         return any(g.drifted for g in self.groups)
 
 
@@ -625,6 +633,7 @@ class CheckOutcome:
 
     @property
     def failed(self) -> bool:
+        """True when the metric drifted or went missing."""
         return self.status != "ok"
 
 
@@ -638,10 +647,12 @@ class CheckReport:
 
     @property
     def failures(self) -> List[CheckOutcome]:
+        """The outcomes that drifted or went missing."""
         return [o for o in self.outcomes if o.failed]
 
     @property
     def ok(self) -> bool:
+        """True when every baselined metric is within its interval."""
         return not self.failures
 
 

@@ -11,10 +11,12 @@ run.
 
 Chunks of specs that share a context (same overlay, same churn trace) are
 executed together by a *chunk runner* so the worker warms up once per
-chunk: the overlay is built a single time, and for churn-driven kinds the
-trace is replayed from the start (churn draws from its own named stream, so
-replaying membership events without estimating reproduces the serial graph
-state exactly).
+chunk: the overlay is built a single time, and churn-driven kinds resume
+the scenario from a hand-off snapshot when the executor supplies one
+(:mod:`repro.runtime.snapshots`), else replay the membership trace from
+t=0 (churn draws from its own named stream, so replaying events without
+estimating reproduces the serial graph state exactly — the prefix-replay
+fallback behind ``--no-snapshot``).
 
 For backwards compatibility the ``overlay``/``estimator`` slots also accept
 live objects (an :class:`~repro.overlay.graph.OverlayGraph`, a factory
@@ -47,9 +49,9 @@ from ..overlay.builders import (
 from ..overlay.graph import OverlayGraph
 from ..overlay.repair import RepairPolicySpec
 from ..sim.latency import LatencySpec
-from ..sim.messages import MessageMeter
 from ..sim.rng import RngHub, derive_seed
 from ..sim.rounds import RoundDriver
+from .snapshots import SNAPSHOT_KINDS, ProbeReplayState, RepairReplayState
 
 __all__ = [
     "EstimatorSpec",
@@ -208,6 +210,7 @@ class _AggregationEpoch:
         self._rounds = int(rounds)
 
     def estimate(self):
+        """Run one fresh epoch and return its :class:`Estimate`."""
         return self._protocol.estimate(rounds=self._rounds)
 
 
@@ -253,6 +256,7 @@ ESTIMATOR_STREAMS: Dict[str, str] = {
 
 def _hub_builder(kind: str) -> Callable[..., Any]:
     def build(graph: OverlayGraph, hub: RngHub, **params: Any) -> Any:
+        """Build the estimator drawing from its historical hub stream."""
         return ESTIMATOR_RNG_BUILDERS[kind](
             graph, hub.stream(ESTIMATOR_STREAMS[kind]), **params
         )
@@ -302,6 +306,7 @@ class EstimatorSpec:
 
     @classmethod
     def sample_collide(cls, l: int = 200, timer: float = 10.0) -> "EstimatorSpec":
+        """The §III-A Sample&Collide estimator (sample size ``l``)."""
         return cls("sample_collide", {"l": int(l), "timer": float(timer)})
 
     @classmethod
@@ -311,6 +316,7 @@ class EstimatorSpec:
         min_hops_reporting: int = 5,
         oracle_distances: bool = False,
     ) -> "EstimatorSpec":
+        """The §III-B HopsSampling estimator (gossip poll + hop histogram)."""
         params = {
             "gossip_to": int(gossip_to),
             "min_hops_reporting": int(min_hops_reporting),
@@ -460,6 +466,7 @@ class TrialResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        """Rebuild a result from its :meth:`as_dict` form (store reads)."""
         return cls(
             index=int(data["index"]),
             value=float(data["value"]),
@@ -619,6 +626,7 @@ def _run_idspace_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
 def _replay_probe(
     specs: Sequence[TrialSpec],
     estimate_at: Callable[[int, OverlayGraph, RngHub], List[TrialResult]],
+    snapshot: Optional[Mapping[str, Any]] = None,
 ) -> List[TrialResult]:
     """Shared churn-replay skeleton for the probe-under-churn kinds.
 
@@ -627,33 +635,38 @@ def _replay_probe(
     trials (if any) run there.  Replay is exact because churn consumes only
     the hub's ``"churn"`` stream while estimations draw from per-index
     child hubs.
+
+    With a ``snapshot`` (a :class:`~repro.runtime.snapshots.ProbeReplayState`
+    payload at some boundary index) the replay *resumes* there instead of
+    rebuilding the overlay and replaying the churn prefix from t=0 — the
+    state hand-off that makes chunked replay O(horizon) total.  Restored
+    or not, the step loop visits identical states, so results are
+    bit-identical either way.
     """
     first = specs[0]
-    p = first.params
-    hub = RngHub(first.hub_seed)
-    graph = _chunk_graph(first)
-    scheduler = ChurnScheduler(
-        graph,
-        _as_trace(p["trace"]),
-        rng=hub.stream("churn"),
-        max_degree=int(p.get("max_degree", 10)),
-    )
-    tpe = float(p.get("time_per_estimation", 1.0))
+    if snapshot is not None:
+        state = ProbeReplayState.restore(first, snapshot)
+    else:
+        state = ProbeReplayState.boot(first)
     last = max(spec.index for spec in specs)
     out: List[TrialResult] = []
-    for i in range(1, last + 1):
-        scheduler.advance_to(i * tpe)
-        if graph.size == 0:
+    for i in range(state.position + 1, last + 1):
+        state.advance(i)
+        if state.dead:
             break
-        out.extend(estimate_at(i, graph, hub))
+        out.extend(estimate_at(i, state.graph, state.hub))
     return out
 
 
-def _run_dynamic_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+def _run_dynamic_probe(
+    specs: Sequence[TrialSpec],
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> List[TrialResult]:
     """Probe-style estimations interleaved with churn (single stream)."""
     wanted = {spec.index: spec for spec in specs}
 
     def estimate_at(i: int, graph: OverlayGraph, hub: RngHub) -> List[TrialResult]:
+        """One estimation at step ``i`` when the batch wants one there."""
         spec = wanted.get(i)
         if spec is None:
             return []
@@ -665,16 +678,20 @@ def _run_dynamic_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
             value = float("nan")
         return [TrialResult(index=i, value=value, true_size=float(graph.size))]
 
-    return _replay_probe(specs, estimate_at)
+    return _replay_probe(specs, estimate_at, snapshot)
 
 
-def _run_multi_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+def _run_multi_probe(
+    specs: Sequence[TrialSpec],
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> List[TrialResult]:
     """Several estimation streams over one churning overlay (Figs 9-14)."""
     by_index: Dict[int, List[TrialSpec]] = {}
     for spec in specs:
         by_index.setdefault(spec.index, []).append(spec)
 
     def estimate_at(i: int, graph: OverlayGraph, hub: RngHub) -> List[TrialResult]:
+        """All wanted streams' estimations at step ``i``, stream order."""
         out = []
         for spec in sorted(by_index.get(i, ()), key=lambda s: s.stream):
             try:
@@ -692,7 +709,7 @@ def _run_multi_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
             )
         return out
 
-    return _replay_probe(specs, estimate_at)
+    return _replay_probe(specs, estimate_at, snapshot)
 
 
 def _run_agg_convergence(specs: Sequence[TrialSpec]) -> List[TrialResult]:
@@ -877,63 +894,46 @@ def _run_delay_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     return out
 
 
-def _run_repair_replay(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+def _run_repair_replay(
+    specs: Sequence[TrialSpec],
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> List[TrialResult]:
     """Aggregation monitoring under churn *with overlay repair* (Fig 17
-    revisited).  One chunk = one full scenario replay from round 1: churn
-    (``"churn"`` stream), the :class:`RepairPolicySpec`-built maintenance
-    policy (``"rep"`` stream) and the monitor (``"monitor"`` stream) all
-    advance in lock step up to the chunk's highest wanted round, exactly
-    as the serial loop did — a chunk holding only late rounds reproduces
-    the identical prefix because every draw comes from named hub streams.
-    Each trial records the held estimate and true size at its round, plus
-    the *cumulative* repair traffic and failed-epoch count in ``extra``
-    (``messages``/``failures``), so the final round carries the serial
-    run's totals.
+    revisited).  One chunk = one scenario replay: churn (``"churn"``
+    stream), the :class:`RepairPolicySpec`-built maintenance policy
+    (``"rep"`` stream) and the monitor (``"monitor"`` stream) all advance
+    in lock step up to the chunk's highest wanted round, exactly as the
+    serial loop did — a chunk holding only late rounds reproduces the
+    identical prefix because every draw comes from named hub streams.
+    With a ``snapshot`` (a :class:`~repro.runtime.snapshots.RepairReplayState`
+    payload) the replay resumes at the captured round instead of
+    rebuilding from round 1.  Each trial records the held estimate and
+    true size at its round, plus the *cumulative* repair traffic and
+    failed-epoch count in ``extra`` (``messages``/``failures``), so the
+    final round carries the serial run's totals.
     """
     first = specs[0]
-    p = first.params
-    hub = RngHub(first.hub_seed)
-    graph = _chunk_graph(first)
-    driver = RoundDriver()
-    scheduler = ChurnScheduler(
-        graph,
-        _as_trace(p["trace"]),
-        rng=hub.stream("churn"),
-        max_degree=int(p.get("max_degree", 10)),
-    )
-    scheduler.attach(driver)
-    meter = MessageMeter()
-    policy = RepairPolicySpec.from_config(p["repair"]).build(
-        graph, rng=hub.stream("rep"), meter=meter
-    )
-    policy.attach(driver)
-    monitor = AggregationMonitor(
-        graph,
-        restart_interval=int(p["restart_interval"]),
-        rng=hub.stream("monitor"),
-    )
-    monitor.attach(driver)
-    records: List[tuple] = []
-    driver.subscribe(
-        lambda rnd: records.append((graph.size, meter.total, monitor.failures)),
-        priority=30,
-    )
+    if snapshot is not None:
+        state = RepairReplayState.restore(first, snapshot)
+    else:
+        state = RepairReplayState.boot(first)
+    base = state.position
     if min(spec.index for spec in specs) < 1:
         raise ValueError("repair_replay indices are 1-based round numbers")
     last = max(spec.index for spec in specs)
-    driver.run(last)
+    state.advance(last)
 
     wanted = {spec.index: spec for spec in specs}
     out: List[TrialResult] = []
-    for i in range(1, last + 1):
+    for i in range(base + 1, last + 1):
         spec = wanted.get(i)
         if spec is None:
             continue
-        size, repair_msgs, failures = records[i - 1]
+        size, repair_msgs, failures = state.records[i - base - 1]
         out.append(
             TrialResult(
                 index=i,
-                value=float(monitor.series[i - 1]),
+                value=float(state.monitor.series[i - base - 1]),
                 true_size=float(size),
                 stream=spec.stream,
                 extra={"messages": int(repair_msgs), "failures": int(failures)},
@@ -942,8 +942,10 @@ def _run_repair_replay(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     return out
 
 
-#: trial kind -> chunk runner.  Extend to open new workloads.
-TRIAL_KINDS: Dict[str, Callable[[Sequence[TrialSpec]], List[TrialResult]]] = {
+#: trial kind -> chunk runner.  Extend to open new workloads.  Runners of
+#: kinds in :data:`~repro.runtime.snapshots.SNAPSHOT_KINDS` additionally
+#: accept an optional replay-state snapshot as second argument.
+TRIAL_KINDS: Dict[str, Callable[..., List[TrialResult]]] = {
     "static_probe": _run_static_probe,
     "fresh_probe": _run_fresh_probe,
     "idspace_probe": _run_idspace_probe,
@@ -957,8 +959,19 @@ TRIAL_KINDS: Dict[str, Callable[[Sequence[TrialSpec]], List[TrialResult]]] = {
 }
 
 
-def run_chunk(specs: Sequence[TrialSpec]) -> List[TrialResult]:
-    """Execute one chunk of same-kind specs; the process-pool entry point."""
+def run_chunk(
+    specs: Sequence[TrialSpec],
+    snapshot: Optional[Mapping[str, Any]] = None,
+) -> List[TrialResult]:
+    """Execute one chunk of same-kind specs; the process-pool entry point.
+
+    ``snapshot`` — accepted only for churn-replay kinds (the keys of
+    :data:`~repro.runtime.snapshots.SNAPSHOT_KINDS`) — is the predecessor
+    chunk's replay state at this chunk's start boundary: the runner resumes
+    there instead of replaying the churn prefix from t=0.  Passing ``None``
+    always works and reproduces the historical prefix-replay behaviour;
+    results are bit-identical either way.
+    """
     if not specs:
         return []
     kinds = {spec.kind for spec in specs}
@@ -971,4 +984,8 @@ def run_chunk(specs: Sequence[TrialSpec]) -> List[TrialResult]:
         raise ValueError(
             f"unknown trial kind {kind!r}; have {sorted(TRIAL_KINDS)}"
         ) from None
+    if kind in SNAPSHOT_KINDS:
+        return runner(specs, snapshot)
+    if snapshot is not None:
+        raise ValueError(f"trial kind {kind!r} does not accept a replay snapshot")
     return runner(specs)

@@ -93,6 +93,18 @@ class MessageMeter:
         """Freeze the current counters."""
         return MeterSnapshot(dict(self._counts))
 
+    @classmethod
+    def restore(cls, counts: Mapping[str, int]) -> "MessageMeter":
+        """Rebuild a meter holding the given counters.
+
+        Inverse of ``snapshot().counts``; part of the chunk hand-off
+        protocol (``docs/SNAPSHOTS.md``) so cumulative overhead columns
+        survive a mid-replay state transfer.
+        """
+        meter = cls()
+        meter._counts = {str(k): int(v) for k, v in counts.items()}
+        return meter
+
     def reset(self) -> None:
         """Zero all counters."""
         self._counts.clear()

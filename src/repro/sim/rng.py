@@ -24,11 +24,17 @@ True
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
-__all__ = ["RngHub", "as_generator", "derive_seed"]
+__all__ = [
+    "RngHub",
+    "as_generator",
+    "derive_seed",
+    "generator_state",
+    "generator_from_state",
+]
 
 #: Anything accepted where a random source is expected.
 RngLike = Union[None, int, np.random.Generator, "RngHub"]
@@ -42,6 +48,30 @@ def derive_seed(master_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def generator_state(gen: np.random.Generator) -> Dict[str, Any]:
+    """Pure-data state capture of a generator (picklable, JSON-able).
+
+    Returns the underlying bit generator's state dict — plain strings and
+    (arbitrary-precision) ints, so it can be content-hashed and stored like
+    any other snapshot payload (see ``docs/SNAPSHOTS.md``).
+    :func:`generator_from_state` rebuilds a generator whose future draws
+    are bit-identical to the captured one's.
+    """
+    return gen.bit_generator.state
+
+
+def generator_from_state(state: Mapping[str, Any]) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` payload.
+
+    The bit-generator class is looked up by the name recorded in the
+    state dict (``PCG64`` for every generator this package creates).
+    """
+    name = str(state["bit_generator"])
+    bit_gen = getattr(np.random, name)()
+    bit_gen.state = dict(state)
+    return np.random.Generator(bit_gen)
 
 
 class RngHub:
@@ -98,6 +128,41 @@ class RngHub:
         own namespace of streams.
         """
         return RngHub(derive_seed(self._seed, f"child:{name}"))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pure-data capture of the hub: seed, stream states, fresh counters.
+
+        Covers the *consumed* lineage only — streams never requested are
+        absent and will be derived on demand after :meth:`restore`, exactly
+        as on the original hub (stream identity depends only on the name,
+        never on request order).  Child hubs are stateless derivations of
+        the seed and need no capture.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: generator_state(gen) for name, gen in self._streams.items()
+            },
+            "fresh": dict(self._fresh_counters),
+        }
+
+    @classmethod
+    def restore(cls, snap: Mapping[str, Any]) -> "RngHub":
+        """Rebuild a hub from a :meth:`snapshot` payload.
+
+        Future draws from every captured stream — and the next
+        :meth:`fresh` generator of every counted lineage — are
+        bit-identical to what the captured hub would have produced.
+        """
+        hub = cls(int(snap["seed"]))
+        hub._streams = {
+            str(name): generator_from_state(state)
+            for name, state in snap.get("streams", {}).items()
+        }
+        hub._fresh_counters = {
+            str(name): int(k) for name, k in snap.get("fresh", {}).items()
+        }
+        return hub
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngHub(seed={self._seed}, streams={sorted(self._streams)})"

@@ -46,12 +46,25 @@ class RoundDriver:
     engine:
         The discrete-event engine to schedule on (a fresh one is created
         when omitted).
+    start_round:
+        First :meth:`run` continues from this round number (virtual clock
+        included).  Used when restoring a mid-replay snapshot so round
+        numbering — and everything keyed on it, like churn event times —
+        stays aligned with the uninterrupted run (``docs/SNAPSHOTS.md``).
     """
 
-    def __init__(self, engine: Optional[SimulationEngine] = None) -> None:
-        self.engine = engine if engine is not None else SimulationEngine()
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        start_round: int = 0,
+    ) -> None:
+        if start_round < 0:
+            raise ValueError(f"start_round must be non-negative, got {start_round}")
+        self.engine = (
+            engine if engine is not None else SimulationEngine(start_time=float(start_round))
+        )
         self._hooks: List[RoundHook] = []
-        self._round = 0
+        self._round = int(start_round)
         self._stopped = False
 
     @property

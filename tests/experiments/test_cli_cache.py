@@ -72,6 +72,48 @@ class TestCacheStats:
         assert "ablation_hops_oracle" in out
         assert "hit artifacts:  2" in out
 
+    def test_reports_snapshot_bytes_separately(self, tmp_path, capsys):
+        from repro.churn.models import shrinking_trace
+        from repro.runtime import (
+            EstimatorSpec,
+            OverlaySpec,
+            ResultsStore,
+            RuntimeOptions,
+            TrialSpec,
+            run_trials,
+            trace_to_payload,
+        )
+
+        params = {
+            "trace": trace_to_payload(
+                shrinking_trace(200, 0.5, start=1.0, end=8.0, steps=7)
+            ),
+            "time_per_estimation": 1.0,
+            "max_degree": 10,
+        }
+        specs = [
+            TrialSpec(
+                "multi_probe",
+                5,
+                i,
+                overlay=OverlaySpec.heterogeneous(200),
+                estimator=EstimatorSpec.sample_collide(l=10, timer=4.0),
+                params=params,
+            )
+            for i in range(1, 9)
+        ]
+        run_trials(
+            specs,
+            runtime=RuntimeOptions(
+                workers=2, chunk_size=2, store=ResultsStore(tmp_path)
+            ),
+        )
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots:" in out
+        assert "results:" in out
+        assert "snapshot:multi_probe" in out
+
 
 class TestCacheGC:
     def test_dry_run_deletes_nothing(self, warm_cache, capsys):

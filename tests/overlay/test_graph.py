@@ -276,7 +276,7 @@ class TestInvariants:
 
     def test_detects_asymmetry(self):
         g = OverlayGraph(nodes=[0, 1], edges=[(0, 1)])
-        g._adj[0].discard(1)  # corrupt deliberately
+        g._adj[0].pop(1)  # corrupt deliberately
         with pytest.raises(GraphError):
             g.check_invariants()
 
@@ -288,6 +288,6 @@ class TestInvariants:
 
     def test_detects_self_loop(self):
         g = OverlayGraph(nodes=[0])
-        g._adj[0].add(0)  # corrupt deliberately
+        g._adj[0][0] = None  # corrupt deliberately
         with pytest.raises(GraphError):
             g.check_invariants()

@@ -8,7 +8,13 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
-from check_links import check_file, default_docs, iter_links  # noqa: E402
+from check_links import (  # noqa: E402
+    check_file,
+    default_docs,
+    heading_anchors,
+    iter_links,
+    slugify,
+)
 
 
 def test_repo_docs_have_no_broken_links():
@@ -16,6 +22,7 @@ def test_repo_docs_have_no_broken_links():
     assert any(d.name == "README.md" for d in docs)
     assert any(d.name == "ARCHITECTURE.md" for d in docs)
     assert any(d.name == "EXPERIMENTS.md" for d in docs)
+    assert any(d.name == "SNAPSHOTS.md" for d in docs)
     assert any(d.name == "TRENDS.md" for d in docs)
     problems = [p for d in docs for p in check_file(d)]
     assert problems == []
@@ -30,19 +37,61 @@ def test_detects_broken_relative_link(tmp_path):
     assert "nope/gone.md" in problems[0]
 
 
-def test_skips_external_and_anchor_links(tmp_path):
+def test_skips_external_links(tmp_path):
     doc = tmp_path / "doc.md"
-    doc.write_text(
-        "[a](https://example.org/x) [b](#section) [c](mailto:x@y.z)"
+    doc.write_text("[a](https://example.org/x) [c](mailto:x@y.z)")
+    assert check_file(doc) == []
+
+
+def test_pure_anchor_validated_against_own_headings(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# My Section\n\n[good](#my-section) [bad](#missing)\n")
+    problems = check_file(doc)
+    assert len(problems) == 1
+    assert "#missing" in problems[0]
+
+
+def test_anchor_suffix_validated_against_target_headings(tmp_path):
+    doc = tmp_path / "doc.md"
+    (tmp_path / "other.md").write_text("## Some Heading\n")
+    doc.write_text("[ok](other.md#some-heading) [bad](other.md#nope)")
+    problems = check_file(doc)
+    assert len(problems) == 1
+    assert "other.md#nope" in problems[0]
+
+
+def test_anchor_on_non_markdown_target_ignored(tmp_path):
+    doc = tmp_path / "doc.md"
+    (tmp_path / "data.json").write_text("{}")
+    doc.write_text("[data](data.json#whatever)")
+    assert check_file(doc) == []
+
+
+def test_slugify_matches_github_rules():
+    assert slugify("The snapshot protocol: O(horizon) churn replay") == (
+        "the-snapshot-protocol-ohorizon-churn-replay"
     )
-    assert check_file(doc) == []
+    assert slugify("Trend tracking and the regression gate") == (
+        "trend-tracking-and-the-regression-gate"
+    )
+    assert slugify("`code` and *emphasis*") == "code-and-emphasis"
+    # GitHub keeps underscores in anchors (snake_case function headings)
+    assert slugify("snapshot_config") == "snapshot_config"
 
 
-def test_anchor_suffix_stripped(tmp_path):
-    doc = tmp_path / "doc.md"
-    (tmp_path / "other.md").write_text("hi")
-    doc.write_text("[ok](other.md#some-heading)")
-    assert check_file(doc) == []
+def test_heading_anchors_collects_all_levels():
+    anchors = heading_anchors("# Top\n\n## Mid Level\n\ntext\n\n### Deep-Dive\n")
+    assert anchors == {"top", "mid-level", "deep-dive"}
+
+
+def test_heading_anchors_suffix_duplicates_like_github():
+    anchors = heading_anchors("## Setup\n\ntext\n\n## Setup\n\n## Setup\n")
+    assert anchors == {"setup", "setup-1", "setup-2"}
+
+
+def test_heading_anchors_ignore_fenced_code_blocks():
+    text = "# Real\n\n```sh\n# not a heading\nls\n```\n\n## Also Real\n"
+    assert heading_anchors(text) == {"real", "also-real"}
 
 
 def test_iter_links_with_titles():
