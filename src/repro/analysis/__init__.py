@@ -2,6 +2,12 @@
 
 from .ascii_chart import line_chart, render_figure, render_table
 from .curves import Curve, FigureResult, TableResult
+from .obs_report import (
+    journal_to_trace,
+    read_journal,
+    render_obs_summary,
+    validate_journal,
+)
 from .validation import (
     BiasVerdict,
     BootstrapCI,
@@ -26,10 +32,14 @@ __all__ = [
     "variance_ratio_test",
     "FigureResult",
     "TableResult",
+    "journal_to_trace",
     "line_chart",
+    "read_journal",
     "render_check_report",
     "render_comparison",
     "render_figure",
+    "render_obs_summary",
     "render_table",
     "render_trend_report",
+    "validate_journal",
 ]

@@ -11,6 +11,9 @@ The CLI is organized in subcommands::
     repro-experiment trends compare A B       # two revisions head-to-head
     repro-experiment trends baseline          # emit a baseline JSON
     repro-experiment trends check             # gate results vs a baseline
+    repro-experiment obs summary <journal>    # phase-profile table
+    repro-experiment obs trace <journal>      # Chrome trace-event export
+    repro-experiment obs validate <journal>   # schema-check a journal
 
 Examples
 --------
@@ -44,6 +47,14 @@ a committed baseline (see docs/TRENDS.md)::
     repro-experiment trends baseline --cache-dir ci-trends/ --out baseline.json
     repro-experiment trends check --baseline baseline.json --fail-on-drift
 
+Record a structured run journal while regenerating a figure, then render
+an ASCII phase summary and a Chrome trace-event file from it (open the
+trace in Perfetto / chrome://tracing — see docs/OBSERVABILITY.md)::
+
+    repro-experiment run fig1 --scale small --workers 4 --journal run.jsonl
+    repro-experiment obs summary run.jsonl
+    repro-experiment obs trace run.jsonl -o trace.json
+
 ``repro-experiment fig1`` (the pre-subcommand form) still works: a bare
 target is rewritten to ``run <target>`` for backwards compatibility.
 """
@@ -61,12 +72,26 @@ from typing import List, Optional
 
 from ..analysis.ascii_chart import render_figure, render_table
 from ..analysis.curves import FigureResult, TableResult
+from ..analysis.obs_report import (
+    journal_to_trace,
+    read_journal,
+    render_obs_summary,
+    validate_journal,
+)
 from ..analysis.trend_report import (
     render_check_report,
     render_comparison,
     render_trend_report,
 )
-from ..runtime import LogProgress, ResultsStore, RuntimeOptions, supports_runtime
+from ..runtime import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalReporter,
+    LogProgress,
+    ResultsStore,
+    RuntimeOptions,
+    TeeProgress,
+    supports_runtime,
+)
 from ..runtime.trends import (
     DEFAULT_CHECK_METRICS,
     TREND_METRICS,
@@ -209,6 +234,17 @@ def _add_run_parser(subparsers) -> None:
         "--progress",
         action="store_true",
         help="log trial progress to stderr",
+    )
+    run.add_argument(
+        "--journal",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "append a structured JSONL run journal (batch/chunk/trial spans, "
+            "phase profiles, cache and fallback events) to this file; "
+            "inspect it with 'obs summary' / 'obs trace' "
+            "(see docs/OBSERVABILITY.md)"
+        ),
     )
 
 
@@ -421,6 +457,60 @@ def _add_trends_parser(subparsers) -> None:
     _render_flags(check)
 
 
+def _add_obs_parser(subparsers) -> None:
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect a structured run journal (summary / trace / validate)",
+        description=(
+            "Offline tooling for the JSONL run journals written by "
+            "'run --journal': an ASCII phase-profile summary, a Chrome "
+            "trace-event export for Perfetto / chrome://tracing, and a "
+            "schema validator.  See docs/OBSERVABILITY.md."
+        ),
+    )
+    sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summary = sub.add_parser(
+        "summary",
+        help="ASCII table of per-phase time and journal event counts",
+        description=(
+            "Aggregate the journal's chunk/trial spans into a per-phase "
+            "time table (boot/restore/churn/estimation/serialize) plus "
+            "batch, cache-hit and fallback counts."
+        ),
+    )
+    summary.add_argument("journal", type=pathlib.Path, help="journal JSONL file")
+
+    trace = sub.add_parser(
+        "trace",
+        help="export Chrome trace-event JSON (Perfetto / chrome://tracing)",
+        description=(
+            "Convert the journal into Chrome trace-event JSON: one process "
+            "track per worker pid, chunk and trial spans, and instants for "
+            "cache hits, fallbacks and snapshot save errors."
+        ),
+    )
+    trace.add_argument("journal", type=pathlib.Path, help="journal JSONL file")
+    trace.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the trace here (default: stdout)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="schema-check a journal; nonzero exit on problems",
+        description=(
+            "Verify the journal parses, declares the current schema "
+            "version, and that every event carries its required fields.  "
+            "Exit status 1 when problems are found."
+        ),
+    )
+    validate.add_argument("journal", type=pathlib.Path, help="journal JSONL file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -436,26 +526,39 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="print the experiment catalogue")
     _add_cache_parser(subparsers)
     _add_trends_parser(subparsers)
+    _add_obs_parser(subparsers)
     return parser
 
 
-def _runtime_options(args, tag: Optional[str] = None) -> RuntimeOptions:
+def _runtime_options(
+    args, tag: Optional[str] = None, journal: Optional[JournalReporter] = None
+) -> RuntimeOptions:
     """Map parsed CLI arguments onto the runtime's execution knobs."""
+    reporters: List[object] = []
+    if args.progress:
+        reporters.append(LogProgress())
+    if journal is not None:
+        reporters.append(journal)
+    progress = None
+    if len(reporters) == 1:
+        progress = reporters[0]
+    elif reporters:
+        progress = TeeProgress(reporters)
     return RuntimeOptions.create(
         workers=args.workers,
         cache_dir=args.cache_dir,
         force=args.force,
-        progress=LogProgress() if args.progress else None,
+        progress=progress,
         tag=tag,
         snapshots=not getattr(args, "no_snapshot", False),
     )
 
 
-def _run_one(name: str, args) -> object:
+def _run_one(name: str, args, journal: Optional[JournalReporter] = None) -> object:
     fn = FIGURES.get(name) or TABLES.get(name)
     kwargs = {"scale": args.scale, "seed": args.seed}
     if supports_runtime(fn):
-        kwargs["runtime"] = _runtime_options(args, tag=name)
+        kwargs["runtime"] = _runtime_options(args, tag=name, journal=journal)
     start = time.perf_counter()
     result = fn(**kwargs)
     elapsed = time.perf_counter() - start
@@ -478,8 +581,16 @@ def _cmd_run(args) -> int:
     names = (
         sorted(FIGURES) + sorted(TABLES) if args.target == "all" else [args.target]
     )
-    for name in names:
-        _run_one(name, args)
+    journal = None
+    if args.journal is not None:
+        args.journal.parent.mkdir(parents=True, exist_ok=True)
+        journal = JournalReporter(args.journal)
+    try:
+        for name in names:
+            _run_one(name, args, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -769,6 +880,42 @@ def _cmd_trends(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_obs(args, parser: argparse.ArgumentParser) -> int:
+    try:
+        events = read_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"obs {args.obs_command}: {exc}\n")
+        return 2
+    if args.obs_command == "validate":
+        problems = validate_journal(events)
+        if problems:
+            for problem in problems:
+                sys.stdout.write(f"{problem}\n")
+            sys.stdout.write(f"{args.journal}: {len(problems)} problem(s)\n")
+            return 1
+        sys.stdout.write(
+            f"{args.journal}: valid journal "
+            f"(schema {JOURNAL_SCHEMA_VERSION}, {len(events)} event(s))\n"
+        )
+        return 0
+    if args.obs_command == "trace":
+        trace = journal_to_trace(events)
+        text = json.dumps(trace, sort_keys=True) + "\n"
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text)
+            sys.stdout.write(
+                f"wrote {len(trace['traceEvents'])} trace event(s) to "
+                f"{args.out} (open in Perfetto or chrome://tracing)\n"
+            )
+        else:
+            sys.stdout.write(text)
+        return 0
+    # summary
+    sys.stdout.write(render_obs_summary(events))
+    return 0
+
+
 #: Bare targets accepted for backwards compatibility with the
 #: pre-subcommand CLI (``repro-experiment fig1``).
 _LEGACY_TARGETS = frozenset(FIGURES) | frozenset(TABLES) | {"all"}
@@ -784,7 +931,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # subcommand name ("--csv-dir cache") must not suppress the rewrite.
     if (
         argv
-        and argv[0] not in ("run", "list", "cache", "trends")
+        and argv[0] not in ("run", "list", "cache", "trends", "obs")
         and any(a in _LEGACY_TARGETS for a in argv)
     ):
         argv = ["run"] + argv
@@ -800,6 +947,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "trends":
         return _cmd_trends(args, parser)
+    if args.command == "obs":
+        return _cmd_obs(args, parser)
     # cache family
     store = _resolve_store(args, parser)
     if args.cache_command == "ls":

@@ -22,17 +22,15 @@ scale.  The closed forms the measurements should match:
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..analysis.curves import TableResult
-from ..core.aggregation import AggregationProtocol
-from ..core.hops_sampling import HopsSamplingEstimator
-from ..core.sample_collide import SampleCollideEstimator
+from ..runtime import EstimatorSpec, RuntimeOptions, TrialSpec, run_trials
 from ..sim.rng import RngHub
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_overlay
+from .runner import overlay_spec
 
 __all__ = ["table1_overhead", "analytic_overhead_models"]
 
@@ -63,60 +61,95 @@ def table1_overhead(
     scale: Optional[object] = None,
     seed: Optional[int] = None,
     repetitions: int = 10,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> TableResult:
     """Measure Table I on one heterogeneous overlay.
 
     ``repetitions`` one-shot estimations are run per probe algorithm; the
     last10runs rows report 10× the mean per-shot cost and the accuracy of
     the window-averaged estimate, exactly as the paper's heuristics define.
+
+    Each row is one :func:`~repro.runtime.run_trials` batch (so rows
+    parallelize, cache and journal like the figures).  RNG lineage is
+    preserved exactly: the probe rows reproduce the historical
+    ``hub.fresh("sc")``/``hub.fresh("hops")`` draws via ``fresh_probe``
+    trials whose index *is* the fresh counter, the aggregation row draws
+    the hub's continuous ``"agg"`` stream via ``stream_epoch``, and the
+    overlay statistics the analytic models need come from a cached
+    ``overlay_stats`` trial on the same overlay realization.
     """
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
     hub = RngHub(cfg.seed).child("table1")
     n = cfg.scale.n_100k
-    graph = build_overlay(cfg, n, hub)
-    true = graph.size
+    overlay = overlay_spec(cfg, n)
+
+    sc_specs = [
+        TrialSpec(
+            "fresh_probe",
+            hub.seed,
+            i,
+            overlay=overlay,
+            estimator=EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer),
+            params={"fresh_name": "sc"},
+        )
+        for i in range(repetitions)
+    ]
+    hops_specs = [
+        TrialSpec(
+            "fresh_probe",
+            hub.seed,
+            i,
+            overlay=overlay,
+            estimator=EstimatorSpec.hops_sampling(
+                gossip_to=cfg.hops_fanout,
+                min_hops_reporting=cfg.hops_min_reporting,
+            ),
+            params={"fresh_name": "hops"},
+        )
+        for i in range(repetitions)
+    ]
+    agg_specs = [
+        TrialSpec(
+            "stream_epoch",
+            hub.seed,
+            0,
+            overlay=overlay,
+            params={"stream": "agg", "rounds": int(cfg.scale.restart_interval)},
+        )
+    ]
+    stats_specs = [TrialSpec("overlay_stats", hub.seed, 0, overlay=overlay)]
+
+    sc_results = run_trials(sc_specs, runtime=runtime)
+    hops_results = run_trials(hops_specs, runtime=runtime)
+    [agg_result] = run_trials(agg_specs, runtime=runtime)
+    [stats_result] = run_trials(stats_specs, runtime=runtime)
+
+    true = int(sc_results[0].true_size)
 
     # --- Sample&Collide -------------------------------------------------
-    sc_vals: List[float] = []
-    sc_msgs: List[int] = []
-    for i in range(repetitions):
-        est = SampleCollideEstimator(
-            graph, l=cfg.sc_l, timer=cfg.sc_timer, rng=hub.fresh("sc")
-        ).estimate()
-        sc_vals.append(est.value)
-        sc_msgs.append(est.messages)
+    sc_vals = [r.value for r in sc_results]
+    sc_msgs = [r.extra["messages"] for r in sc_results]
     sc_mean_msgs = float(np.mean(sc_msgs))
     sc_one_acc = float(np.mean(np.abs(100.0 * np.array(sc_vals) / true - 100.0)))
     sc_last_acc = abs(100.0 * float(np.mean(sc_vals[-10:])) / true - 100.0)
 
     # --- HopsSampling ---------------------------------------------------
-    hops_vals: List[float] = []
-    hops_msgs: List[int] = []
-    for i in range(repetitions):
-        est = HopsSamplingEstimator(
-            graph,
-            gossip_to=cfg.hops_fanout,
-            min_hops_reporting=cfg.hops_min_reporting,
-            rng=hub.fresh("hops"),
-        ).estimate()
-        hops_vals.append(est.value)
-        hops_msgs.append(est.messages)
+    hops_vals = [r.value for r in hops_results]
+    hops_msgs = [r.extra["messages"] for r in hops_results]
     hops_mean_msgs = float(np.mean(hops_msgs))
     hops_last = float(np.mean(hops_vals[-10:]))
     hops_last_acc = 100.0 * hops_last / true - 100.0  # signed: bias is the story
 
     # --- Aggregation ----------------------------------------------------
-    proto = AggregationProtocol(graph, rng=hub.stream("agg"))
-    agg_est = proto.estimate(rounds=cfg.scale.restart_interval)
-    agg_acc = 100.0 * agg_est.value / true - 100.0
+    agg_acc = 100.0 * agg_result.value / true - 100.0
 
     models = analytic_overhead_models(
         true,
         l=cfg.sc_l,
         timer=cfg.sc_timer,
-        avg_degree=graph.average_degree(),
+        avg_degree=stats_result.extra["average_degree"],
         rounds=cfg.scale.restart_interval,
     )
 
@@ -154,7 +187,7 @@ def table1_overhead(
         algorithm="Aggregation",
         parameters=f"{cfg.scale.restart_interval} rounds",
         accuracy_pct=round(agg_acc, 2),
-        overhead_messages=int(agg_est.messages),
+        overhead_messages=int(agg_result.extra["messages"]),
         overhead_model=int(models["aggregation"]),
     )
     return table

@@ -16,7 +16,6 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.curves import FigureResult
-from ..overlay.views import degree_histogram, degree_stats, powerlaw_exponent
 from ..runtime import (
     EstimatorSpec,
     OverlaySpec,
@@ -27,25 +26,40 @@ from ..runtime import (
 )
 from ..sim.rng import RngHub
 from .config import ExperimentConfig, resolve_scale
-from .runner import build_scale_free_overlay, static_probe_series
+from .runner import static_probe_series
 
 __all__ = ["fig07_scale_free_degrees", "fig08_scale_free_comparison"]
 
 
 def fig07_scale_free_degrees(
-    scale: Optional[object] = None, seed: Optional[int] = None
+    scale: Optional[object] = None,
+    seed: Optional[int] = None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> FigureResult:
     """Fig 7: degree distribution of the BA overlay (log-log power law).
 
     Paper at 100,000 nodes: min degree 3, max ≈1177, average ≈6.
+
+    The overlay build and its degree reduction run as one
+    ``overlay_stats`` trial through :func:`~repro.runtime.run_trials`, so
+    the (expensive at paper scale) BA construction caches and journals
+    like every other experiment.  The trial rebuilds the graph from the
+    same ``fig07`` child-hub seed and ``overlay.sf`` stream the serial
+    code used, so the histogram is bit-identical.
     """
     cfg = ExperimentConfig(scale=resolve_scale(scale))
     if seed is not None:
         cfg = ExperimentConfig(seed=seed, scale=cfg.scale)
     hub = RngHub(cfg.seed).child("fig07")
-    graph = build_scale_free_overlay(cfg.scale.n_100k, hub, m=3)
-    hist = degree_histogram(graph)
-    stats = degree_stats(graph)
+    spec = TrialSpec(
+        "overlay_stats",
+        hub.seed,
+        0,
+        overlay=OverlaySpec.scale_free(cfg.scale.n_100k, m=3),
+    )
+    [result] = run_trials([spec], runtime=runtime)
+    stats = result.extra
+    hist = [(int(d), int(c)) for d, c in stats["histogram"]]
     degrees = np.array([d for d, _ in hist], dtype=float)
     counts = np.array([c for _, c in hist], dtype=float)
     fig = FigureResult(
@@ -54,11 +68,11 @@ def fig07_scale_free_degrees(
         xlabel="Degree (log scale in the paper)",
         ylabel="Number of nodes (log scale in the paper)",
         params={
-            "n": stats.n,
-            "min_degree": stats.min_degree,
-            "max_degree": stats.max_degree,
-            "mean_degree": round(stats.mean_degree, 2),
-            "powerlaw_exponent": round(powerlaw_exponent(graph), 2),
+            "n": int(result.true_size),
+            "min_degree": int(stats["min_degree"]),
+            "max_degree": int(stats["max_degree"]),
+            "mean_degree": round(float(stats["mean_degree"]), 2),
+            "powerlaw_exponent": round(float(stats["powerlaw_exponent"]), 2),
             "scale": cfg.scale.name,
         },
         notes="paper at 100k: min 3, max ~1177, average ~6; BA theory gamma~3",

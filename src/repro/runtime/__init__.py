@@ -30,8 +30,20 @@ from .api import (
     supports_runtime,
     sweep,
 )
+from .obs import (
+    JOURNAL_SCHEMA_VERSION,
+    PHASES,
+    JournalReporter,
+    PhaseAccumulator,
+)
 from .pool import TrialExecutor, chunk_specs
-from .progress import LogProgress, NullProgress, ProgressReporter, TelemetryCollector
+from .progress import (
+    LogProgress,
+    NullProgress,
+    ProgressReporter,
+    TeeProgress,
+    TelemetryCollector,
+)
 from .snapshots import (
     SNAPSHOT_KINDS,
     SNAPSHOT_SCHEMA_VERSION,
@@ -39,7 +51,13 @@ from .snapshots import (
     RepairReplayState,
     snapshot_config,
 )
-from .provenance import detect_git_revision, metric_values, summarize_results
+from .provenance import (
+    PHASE_METRICS,
+    detect_git_revision,
+    metric_values,
+    phase_metric_values,
+    summarize_results,
+)
 from .store import (
     ArtifactInfo,
     GCReport,
@@ -87,6 +105,8 @@ __all__ = [
     "GCReport",
     "GroupTrend",
     "IdSpaceSpec",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalReporter",
     "LatencySpec",
     "LogProgress",
     "MetricComparison",
@@ -94,6 +114,9 @@ __all__ = [
     "StoreStats",
     "NullProgress",
     "OverlaySpec",
+    "PHASES",
+    "PHASE_METRICS",
+    "PhaseAccumulator",
     "ProbeReplayState",
     "RepairPolicySpec",
     "RepairReplayState",
@@ -103,6 +126,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SNAPSHOT_KINDS",
     "SNAPSHOT_SCHEMA_VERSION",
+    "TeeProgress",
     "TelemetryCollector",
     "TrendRecord",
     "TrendReport",
@@ -121,6 +145,7 @@ __all__ = [
     "load_baseline",
     "make_baseline",
     "metric_values",
+    "phase_metric_values",
     "run_chunk",
     "run_trials",
     "scan_stores",

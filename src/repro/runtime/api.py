@@ -20,7 +20,7 @@ from ..sim.metrics import EstimateSeries
 from .pool import TrialExecutor
 from .progress import NullProgress, ProgressReporter
 from .provenance import detect_git_revision, summarize_results
-from .store import ResultsStore
+from .store import ResultsStore, content_key, group_key
 from .trials import TrialResult, TrialSpec
 
 __all__ = [
@@ -170,6 +170,19 @@ def run_trials(
 
     portable = all(spec.portable for spec in specs)
     config = batch_config(specs) if portable else None
+    if not isinstance(progress, NullProgress):
+        # Spec identity for journals: which logical experiment the coming
+        # events (including a possible cache hit) belong to.  Computed only
+        # when someone is listening — the hashes cost a canonical-JSON pass.
+        meta: Dict[str, Any] = {
+            "kind": specs[0].kind,
+            "trials": len(specs),
+            "tag": tag or specs[0].kind,
+        }
+        if config is not None:
+            meta["key"] = content_key(config)
+            meta["group"] = group_key(config)
+        progress.on_batch_meta(meta)
     if store is not None and config is not None and not force:
         cached = store.load(config)
         if cached is not None:

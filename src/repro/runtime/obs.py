@@ -1,0 +1,300 @@
+"""Structured observability for the trial runtime: phase profiling + journal.
+
+Two halves, deliberately decoupled so the hot path stays unaffected by the
+telemetry path (the progress/diagnostics split of the Mercury RPC runtime):
+
+* **Worker side** — a :class:`PhaseAccumulator` installed by
+  :func:`~repro.runtime.trials.run_chunk` around every chunk.  Chunk
+  runners wrap their interesting sections in :func:`phase`, which
+  aggregates ``perf_counter`` deltas per phase name, either chunk-wide or
+  attributed to one ``(index, stream)`` trial.  The accumulated timings are
+  attached to each :class:`~repro.runtime.trials.TrialResult` as its
+  ``profile`` field and shipped back through the normal pickle channel —
+  no sockets, no files, no global state crossing process boundaries.
+
+* **Driver side** — a :class:`JournalReporter`, a
+  :class:`~repro.runtime.progress.ProgressReporter` that serialises every
+  callback (batch → chunk → trial, snapshot-boundary resolutions, store
+  hits, fallbacks) to one JSON object per line.  The journal is append-only
+  JSONL so a crashed run still leaves a readable prefix, and every line
+  carries a wall-clock timestamp so events from different worker processes
+  can be aligned on one timeline (worker ``perf_counter`` origins differ
+  per process; only epoch time is comparable across them).
+
+The journal file format is versioned (:data:`JOURNAL_SCHEMA_VERSION`) and
+documented in ``docs/OBSERVABILITY.md``; :mod:`repro.analysis.obs_report`
+consumes it for validation, ASCII summaries and Chrome trace-event export.
+
+Phase taxonomy (:data:`PHASES`):
+
+``boot``
+    Scenario or overlay construction from scratch (cold chunk).
+``restore``
+    Scenario state rebuilt from a hand-off snapshot (pipelined chunk).
+``churn``
+    Advancing the churn schedule / scenario between estimation points.
+``estimation``
+    Running an estimator (the paper's actual measurement).
+``serialize``
+    Capturing/encoding snapshot payloads for hand-off or the store.
+
+Determinism: profiling only *observes* — it draws no randomness, mutates
+no scenario state, and the ``profile`` field is excluded from result
+equality and from stored artifacts, so results are bit-identical with or
+without a journal attached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from .progress import ProgressReporter
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "PHASES",
+    "JournalReporter",
+    "PhaseAccumulator",
+    "chunk_profiler",
+    "phase",
+]
+
+#: Version stamped into every journal's header line.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: The closed set of phase names chunk runners may record.
+PHASES: Tuple[str, ...] = ("boot", "restore", "churn", "estimation", "serialize")
+
+
+class PhaseAccumulator:
+    """Collects phase timings for one ``run_chunk`` invocation.
+
+    Durations are ``perf_counter`` deltas (monotonic, high resolution);
+    the chunk's start is additionally captured as epoch time so driver-side
+    consumers can place worker spans on a shared wall-clock timeline.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self._t0 = time.perf_counter()
+        self.chunk_phases: Dict[str, float] = {}
+        self.trials: Dict[Tuple[int, int], Dict[str, Any]] = {}
+
+    @contextmanager
+    def measure(self, name: str, key: Optional[Tuple[int, int]] = None) -> Iterator[None]:
+        """Time the enclosed block under phase ``name``.
+
+        With ``key=(index, stream)`` the duration is attributed to that
+        trial; without, it accrues to the chunk as a whole (boot, restore
+        and churn are typically shared across a chunk's trials).
+        """
+        if name not in PHASES:
+            raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            delta = end - begin
+            if key is None:
+                self.chunk_phases[name] = self.chunk_phases.get(name, 0.0) + delta
+            else:
+                trial = self.trials.setdefault(
+                    key, {"started": begin - self._t0, "phases": {}}
+                )
+                trial["phases"][name] = trial["phases"].get(name, 0.0) + delta
+                trial["elapsed"] = end - self._t0 - trial["started"]
+
+    def chunk_summary(self) -> Dict[str, Any]:
+        """Chunk-level profile: pid, epoch start, elapsed, shared phases."""
+        return {
+            "pid": os.getpid(),
+            "started": self.started,
+            "elapsed": time.perf_counter() - self._t0,
+            "phases": dict(self.chunk_phases),
+        }
+
+
+#: The accumulator installed by the currently-executing ``run_chunk``
+#: (worker-process local; ``None`` outside a chunk).
+_ACTIVE: Optional[PhaseAccumulator] = None
+
+
+@contextmanager
+def chunk_profiler() -> Iterator[PhaseAccumulator]:
+    """Install a fresh :class:`PhaseAccumulator` for the enclosed chunk."""
+    global _ACTIVE
+    previous = _ACTIVE
+    accumulator = PhaseAccumulator()
+    _ACTIVE = accumulator
+    try:
+        yield accumulator
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def phase(name: str, key: Optional[Tuple[int, int]] = None) -> Iterator[None]:
+    """Record the enclosed block under phase ``name`` (no-op outside a chunk).
+
+    Chunk runners call this without caring whether profiling is active;
+    when no accumulator is installed the block runs untimed.
+    """
+    accumulator = _ACTIVE
+    if accumulator is None:
+        yield
+    else:
+        with accumulator.measure(name, key):
+            yield
+
+
+class JournalReporter(ProgressReporter):
+    """Serialise every runtime event to an append-only JSONL run journal.
+
+    Parameters
+    ----------
+    target:
+        Path to the journal file (opened in append mode, so several runs
+        may share one journal) or an already-open text stream.
+    clock:
+        Timestamp source; injectable for deterministic tests.
+
+    Every line is one JSON object with at least ``ts`` (epoch seconds) and
+    ``event``.  The first line written by each reporter is a ``journal``
+    header carrying the schema version and the driver PID.  Events between
+    a ``batch_meta``/``batch_start`` and the matching ``batch_finish`` (or
+    ``cache_hit``) share a ``batch`` sequence number.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, "os.PathLike[str]", IO[str]],
+        *,
+        clock=time.time,
+    ) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = open(os.fspath(target), "a", encoding="utf-8")
+            self._owns_stream = True
+        self._clock = clock
+        self._batch = 0
+        self._in_batch = False
+        self._emit("journal", schema=JOURNAL_SCHEMA_VERSION, pid=os.getpid())
+
+    def _emit(self, event: str, **data: Any) -> None:
+        record: Dict[str, Any] = {"ts": float(self._clock()), "event": event}
+        if self._in_batch or event in ("batch_meta", "batch_start"):
+            record["batch"] = self._batch
+        record.update(data)
+        self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+        self._stream.flush()
+
+    def _next_batch(self) -> None:
+        self._batch += 1
+        self._in_batch = True
+
+    def close(self) -> None:
+        """Close the underlying file if this reporter opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JournalReporter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- ProgressReporter callbacks ----------------------------------------
+
+    def on_batch_meta(self, meta: Mapping[str, Any]) -> None:
+        """Open a new batch scope and journal its spec identity."""
+        self._next_batch()
+        self._emit("batch_meta", **dict(meta))
+
+    def on_start(self, total: int, workers: int) -> None:
+        """Journal the start of batch execution."""
+        if not self._in_batch:
+            self._next_batch()
+        self._emit("batch_start", total=total, workers=workers)
+
+    def on_progress(self, done: int, total: int) -> None:
+        """Journal a completed-trials progress tick."""
+        self._emit("progress", done=done, total=total)
+
+    def on_cache_hit(self, total: int) -> None:
+        """Journal a whole-batch store hit and close the batch scope."""
+        if not self._in_batch:
+            self._next_batch()
+        self._emit("cache_hit", trials=total)
+        self._in_batch = False
+
+    def on_fallback(self, reason: str) -> None:
+        """Journal a whole-batch serial fallback."""
+        self._emit("fallback", reason=reason)
+
+    def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
+        """Journal a mid-batch pool failure with the surviving trial count."""
+        self._emit("partial_fallback", done=done, total=total, reason=reason)
+
+    def on_finish(self, done: int, elapsed: float) -> None:
+        """Journal batch completion and close the batch scope."""
+        self._emit("batch_finish", done=done, elapsed=elapsed)
+        self._in_batch = False
+
+    def on_chunk_start(self, chunk: int, trials: int, boundary: Optional[int] = None) -> None:
+        """Journal a chunk submission (with its snapshot boundary, if any)."""
+        self._emit("chunk_start", chunk=chunk, trials=trials, boundary=boundary)
+
+    def on_chunk_done(self, chunk: int, results: Sequence[Any]) -> None:
+        """Journal chunk completion plus one ``trial`` line per result.
+
+        Worker-side profiles (pid, epoch start, phase timings) are folded
+        in when present; trial start offsets are rebased onto the worker's
+        epoch start so all journal timestamps share one timeline.
+        """
+        summary: Dict[str, Any] = {}
+        for result in results:
+            profile = getattr(result, "profile", None) or {}
+            if "chunk" in profile:
+                summary = profile["chunk"]
+                break
+        self._emit(
+            "chunk_done",
+            chunk=chunk,
+            trials=len(results),
+            pid=summary.get("pid"),
+            started=summary.get("started"),
+            elapsed=summary.get("elapsed"),
+            phases=summary.get("phases") or {},
+        )
+        chunk_started = summary.get("started")
+        for result in results:
+            profile = getattr(result, "profile", None) or {}
+            started = profile.get("started")
+            if started is not None and chunk_started is not None:
+                started = chunk_started + started
+            self._emit(
+                "trial",
+                chunk=chunk,
+                index=getattr(result, "index", None),
+                stream=getattr(result, "stream", 0),
+                ok=getattr(result, "ok", True),
+                pid=summary.get("pid"),
+                started=started,
+                elapsed=profile.get("elapsed"),
+                phases=profile.get("phases") or {},
+            )
+
+    def on_snapshot_boundary(self, target: int, seconds: float, outcome: str) -> None:
+        """Journal a snapshot-backbone boundary resolution."""
+        self._emit("snapshot_boundary", target=target, seconds=seconds, outcome=outcome)
+
+    def on_snapshot_save_error(self, error: str) -> None:
+        """Journal a failed best-effort snapshot save."""
+        self._emit("snapshot_save_error", error=error)

@@ -79,12 +79,16 @@ class _SnapshotBackbone:
     later boundary misses and must be advanced to.
     """
 
-    def __init__(self, spec: TrialSpec, store) -> None:
+    def __init__(
+        self, spec: TrialSpec, store, progress: Optional[ProgressReporter] = None
+    ) -> None:
         self.spec = spec
         self.store = store
+        self.progress = progress if progress is not None else NullProgress()
         self.state_cls = SNAPSHOT_KINDS[spec.kind]
         self._state = None
         self._adopt: Optional[Mapping[str, Any]] = None
+        self._save_error_reported = False
 
     def payload_at(self, target: int) -> Optional[Mapping[str, Any]]:
         """Snapshot payload at boundary ``target`` (``None`` = no hand-off).
@@ -95,14 +99,24 @@ class _SnapshotBackbone:
         Returns ``None`` for negative boundaries and for non-monotone
         chunk layouts the backbone cannot serve — the chunk then falls
         back to prefix replay, which is always correct.
+
+        Every resolution is reported via ``on_snapshot_boundary``; a
+        failed best-effort save (read-only store) is surfaced once per
+        backbone via ``on_snapshot_save_error`` instead of being silently
+        dropped.
         """
+        begin = time.perf_counter()
         if target < 0:
+            self.progress.on_snapshot_boundary(target, 0.0, "skipped")
             return None
         config = snapshot_config(self.spec, target)
         if self.store is not None:
             cached = self.store.load_snapshot(config)
             if cached is not None:
                 self._adopt = cached
+                self.progress.on_snapshot_boundary(
+                    target, time.perf_counter() - begin, "hit"
+                )
                 return cached
         if self._adopt is not None:
             self._state = self.state_cls.restore(self.spec, self._adopt)
@@ -110,6 +124,9 @@ class _SnapshotBackbone:
         if self._state is None:
             self._state = self.state_cls.boot(self.spec)
         if target < self._state.position:
+            self.progress.on_snapshot_boundary(
+                target, time.perf_counter() - begin, "skipped"
+            )
             return None
         self._state.advance(target)
         payload = self._state.snapshot()
@@ -118,8 +135,13 @@ class _SnapshotBackbone:
                 self.store.save_snapshot(
                     config, payload, meta={"tag": f"snapshot:{self.spec.kind}"}
                 )
-            except OSError:  # read-only store: snapshots are best-effort
-                pass
+            except OSError as exc:  # read-only store: snapshots are best-effort
+                if not self._save_error_reported:
+                    self._save_error_reported = True
+                    self.progress.on_snapshot_save_error(str(exc))
+        self.progress.on_snapshot_boundary(
+            target, time.perf_counter() - begin, "computed"
+        )
         return payload
 
 
@@ -181,7 +203,9 @@ class TrialExecutor:
         self.progress.on_start(len(specs), workers)
 
         if workers <= 1 or len(specs) == 1:
+            self.progress.on_chunk_start(0, len(specs))
             results = run_chunk(specs)
+            self.progress.on_chunk_done(0, results)
         else:
             results = self._run_parallel(specs, workers)
 
@@ -194,25 +218,52 @@ class TrialExecutor:
     ) -> List[TrialResult]:
         chunks = chunk_specs(specs, self._auto_chunk_size(len(specs)))
         if len(chunks) == 1:
-            return run_chunk(specs)
+            self.progress.on_chunk_start(0, len(specs))
+            results = run_chunk(specs)
+            self.progress.on_chunk_done(0, results)
+            return results
         pipelined = self.snapshots and specs[0].kind in SNAPSHOT_KINDS
+        completed: dict = {}
+        done = 0
         try:
-            results: List[TrialResult] = []
-            done = 0
             with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
                 if pipelined:
                     futures = self._submit_pipelined(pool, chunks)
                 else:
-                    futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+                    futures = []
+                    for i, chunk in enumerate(chunks):
+                        self.progress.on_chunk_start(i, len(chunk))
+                        futures.append(pool.submit(run_chunk, chunk))
+                index_of = {future: i for i, future in enumerate(futures)}
                 for future in as_completed(futures):
                     part = future.result()
-                    results.extend(part)
+                    completed[index_of[future]] = part
                     done += len(part)
+                    self.progress.on_chunk_done(index_of[future], part)
                     self.progress.on_progress(done, len(specs))
-            return results
+            return [r for i in sorted(completed) for r in completed[i]]
         except (pickle.PicklingError, ImportError, OSError) as exc:
-            self.progress.on_fallback(f"process pool unavailable ({exc})")
-            return run_chunk(specs)
+            # Keep whatever chunks already finished; only the remainder is
+            # re-run serially.  Any regrouping of specs into chunks is
+            # bit-identical (every trial derives from (hub_seed, index)
+            # alone), so merged results match a clean run exactly.
+            remaining = [
+                spec
+                for i, chunk in enumerate(chunks)
+                if i not in completed
+                for spec in chunk
+            ]
+            self.progress.on_partial_fallback(
+                done,
+                len(specs),
+                f"process pool failed ({exc}); "
+                f"re-running {len(remaining)} of {len(specs)} trials serially",
+            )
+            kept = [r for i in sorted(completed) for r in completed[i]]
+            self.progress.on_chunk_start(len(chunks), len(remaining))
+            rerun = run_chunk(remaining)
+            self.progress.on_chunk_done(len(chunks), rerun)
+            return kept + rerun
 
     def _submit_pipelined(self, pool: ProcessPoolExecutor, chunks) -> List:
         """Submit chunks with snapshot hand-off (churn-replay kinds).
@@ -225,9 +276,10 @@ class TrialExecutor:
         replaying the churn prefix, so estimation overlaps with the
         backbone's cheap churn-only advance.
         """
-        backbone = _SnapshotBackbone(chunks[0][0], self.snapshot_store)
+        backbone = _SnapshotBackbone(chunks[0][0], self.snapshot_store, self.progress)
         futures = []
-        for chunk in chunks:
+        for i, chunk in enumerate(chunks):
             target = min(spec.index for spec in chunk) - 1
+            self.progress.on_chunk_start(i, len(chunk), boundary=target)
             futures.append(pool.submit(run_chunk, chunk, backbone.payload_at(target)))
         return futures

@@ -11,18 +11,28 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Any, Dict, List, Optional, TextIO
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO
 
 __all__ = [
     "LogProgress",
     "NullProgress",
     "ProgressReporter",
+    "TeeProgress",
     "TelemetryCollector",
 ]
 
 
 class ProgressReporter:
-    """Callback interface invoked by the executor and the trials API."""
+    """Callback interface invoked by the executor and the trials API.
+
+    The original protocol is the five coarse batch-level callbacks
+    (``on_start`` … ``on_finish``); third-party subclasses that override
+    only those keep working unchanged.  The chunk-/trial-granular hooks
+    below were added for the observability layer (:mod:`repro.runtime.obs`)
+    and all default to no-ops — except :meth:`on_partial_fallback`, whose
+    default delegates to :meth:`on_fallback` so five-method reporters still
+    hear about mid-batch pool failures.
+    """
 
     def on_start(self, total: int, workers: int) -> None:
         """A batch of ``total`` trials is about to run on ``workers`` workers."""
@@ -38,6 +48,56 @@ class ProgressReporter:
 
     def on_finish(self, done: int, elapsed: float) -> None:
         """The batch finished (``elapsed`` wall-clock seconds)."""
+
+    # -- observability extensions (all optional to override) ---------------
+
+    def on_batch_meta(self, meta: Mapping[str, Any]) -> None:
+        """Identity of the batch about to run (kind, trials, tag, key, group).
+
+        Fired by :func:`~repro.runtime.api.run_trials` before the cache
+        lookup, so journals can attribute the subsequent events (including
+        a cache hit) to a spec identity.  Not fired when the executor is
+        driven directly.
+        """
+
+    def on_chunk_start(self, chunk: int, trials: int, boundary: Optional[int] = None) -> None:
+        """Chunk ``chunk`` (``trials`` specs) was submitted for execution.
+
+        ``boundary`` is the snapshot hand-off index the chunk resumes from
+        (pipelined replay kinds only; ``None`` otherwise).
+        """
+
+    def on_chunk_done(self, chunk: int, results: Sequence[Any]) -> None:
+        """Chunk ``chunk`` completed with ``results`` (list of TrialResult).
+
+        Results carry worker-side phase profiles on their ``profile``
+        attribute when produced by :func:`~repro.runtime.trials.run_chunk`.
+        """
+
+    def on_snapshot_boundary(self, target: int, seconds: float, outcome: str) -> None:
+        """The snapshot backbone resolved boundary ``target``.
+
+        ``outcome`` is ``"hit"`` (loaded from the snapshot store),
+        ``"computed"`` (advanced from the previous boundary) or
+        ``"skipped"`` (no hand-off produced for this boundary — the chunk
+        prefix-replays instead).
+        """
+
+    def on_snapshot_save_error(self, error: str) -> None:
+        """A best-effort snapshot save failed (e.g. read-only store).
+
+        Reported at most once per backbone — subsequent failures of the
+        same store are suppressed.
+        """
+
+    def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
+        """The pool failed mid-batch; ``done`` of ``total`` trials survive.
+
+        Only the remaining ``total - done`` trials are re-run serially.
+        The default implementation delegates to :meth:`on_fallback` so
+        legacy five-method reporters still observe the event.
+        """
+        self.on_fallback(reason)
 
 
 class NullProgress(ProgressReporter):
@@ -78,6 +138,17 @@ class LogProgress(ProgressReporter):
         """Log the final count and wall-clock."""
         self._emit(f"finished {done} trials in {elapsed:.1f}s")
 
+    def on_snapshot_save_error(self, error: str) -> None:
+        """Log a failed best-effort snapshot save (once per backbone)."""
+        self._emit(f"snapshot save failed (results unaffected): {error}")
+
+    def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
+        """Log a mid-batch pool failure and how much work survives."""
+        self._emit(
+            f"pool failed after {done}/{total} trials; "
+            f"re-running the remaining {total - done} serially: {reason}"
+        )
+
 
 class TelemetryCollector(ProgressReporter):
     """Records every callback as an event dict — for tests and tooling."""
@@ -85,8 +156,10 @@ class TelemetryCollector(ProgressReporter):
     def __init__(self) -> None:
         self.events: List[Dict[str, Any]] = []
 
-    def _record(self, kind: str, **data: Any) -> None:
-        self.events.append({"event": kind, **data})
+    def _record(self, event: str, **data: Any) -> None:
+        # ``event`` deliberately avoids colliding with batch-meta field names
+        # ("kind", "tag", ...), which are splatted in via ``**data``.
+        self.events.append({"event": event, **data})
 
     def on_start(self, total: int, workers: int) -> None:
         """Record a start event."""
@@ -108,6 +181,92 @@ class TelemetryCollector(ProgressReporter):
         """Record a finish event."""
         self._record("finish", done=done, elapsed=elapsed)
 
+    def on_batch_meta(self, meta: Mapping[str, Any]) -> None:
+        """Record a batch-identity event."""
+        self._record("batch_meta", **dict(meta))
+
+    def on_chunk_start(self, chunk: int, trials: int, boundary: Optional[int] = None) -> None:
+        """Record a chunk-submission event."""
+        self._record("chunk_start", chunk=chunk, trials=trials, boundary=boundary)
+
+    def on_chunk_done(self, chunk: int, results: Sequence[Any]) -> None:
+        """Record a chunk-completion event (result count only)."""
+        self._record("chunk_done", chunk=chunk, trials=len(results))
+
+    def on_snapshot_boundary(self, target: int, seconds: float, outcome: str) -> None:
+        """Record a snapshot-boundary resolution event."""
+        self._record("snapshot_boundary", target=target, seconds=seconds, outcome=outcome)
+
+    def on_snapshot_save_error(self, error: str) -> None:
+        """Record a failed best-effort snapshot save."""
+        self._record("snapshot_save_error", error=error)
+
+    def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
+        """Record a mid-batch partial fallback."""
+        self._record("partial_fallback", done=done, total=total, reason=reason)
+
     def count(self, kind: str) -> int:
         """Number of recorded events of ``kind``."""
         return sum(1 for ev in self.events if ev["event"] == kind)
+
+
+class TeeProgress(ProgressReporter):
+    """Fan every callback out to several reporters (e.g. log + journal)."""
+
+    def __init__(self, reporters: Sequence[ProgressReporter]) -> None:
+        self.reporters = list(reporters)
+
+    def on_start(self, total: int, workers: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_start(total, workers)
+
+    def on_progress(self, done: int, total: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_progress(done, total)
+
+    def on_cache_hit(self, total: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_cache_hit(total)
+
+    def on_fallback(self, reason: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_fallback(reason)
+
+    def on_finish(self, done: int, elapsed: float) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_finish(done, elapsed)
+
+    def on_batch_meta(self, meta: Mapping[str, Any]) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_batch_meta(meta)
+
+    def on_chunk_start(self, chunk: int, trials: int, boundary: Optional[int] = None) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_chunk_start(chunk, trials, boundary)
+
+    def on_chunk_done(self, chunk: int, results: Sequence[Any]) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_chunk_done(chunk, results)
+
+    def on_snapshot_boundary(self, target: int, seconds: float, outcome: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_snapshot_boundary(target, seconds, outcome)
+
+    def on_snapshot_save_error(self, error: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_snapshot_save_error(error)
+
+    def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
+        """Forward to every reporter (no on_fallback double-delegation)."""
+        for r in self.reporters:
+            r.on_partial_fallback(done, total, reason)

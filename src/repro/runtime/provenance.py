@@ -27,13 +27,21 @@ import os
 import subprocess
 from typing import Dict, List, Optional, Sequence
 
+from .obs import PHASES
 from .trials import TrialResult
 
 __all__ = [
+    "PHASE_METRICS",
     "detect_git_revision",
     "metric_values",
+    "phase_metric_values",
     "summarize_results",
 ]
+
+#: Header-metric names of the worker-side phase timings (one per phase of
+#: :data:`repro.runtime.obs.PHASES`).  Timing metrics are machine-dependent:
+#: reported for trend inspection, excluded from deterministic CI gates.
+PHASE_METRICS = tuple(f"phase_{name}" for name in PHASES)
 
 #: Environment override consulted before asking git (CI sets this).
 REVISION_ENV = "REPRO_GIT_REVISION"
@@ -103,11 +111,36 @@ def _stats(values: Sequence[float]) -> Dict[str, float]:
     return {"mean": mean, "std": math.sqrt(var), "min": min(values), "max": max(values), "n": n}
 
 
+def phase_metric_values(results: Sequence[TrialResult]) -> Dict[str, List[float]]:
+    """Per-phase timing samples from the results' observability profiles.
+
+    Per-trial phases (estimation) contribute one sample per trial;
+    chunk-level phases (boot/restore/churn) one sample per chunk.  Results
+    loaded from the store carry no profiles (telemetry is never persisted
+    in the payload) and contribute nothing — phase history across
+    revisions instead lives in the artifact header summaries this module
+    produces.
+    """
+    out: Dict[str, List[float]] = {}
+    for r in results:
+        profile = r.profile or {}
+        for name, seconds in (profile.get("phases") or {}).items():
+            out.setdefault(f"phase_{name}", []).append(float(seconds))
+        chunk = profile.get("chunk") or {}
+        for name, seconds in (chunk.get("phases") or {}).items():
+            out.setdefault(f"phase_{name}", []).append(float(seconds))
+    return out
+
+
 def summarize_results(results: Sequence[TrialResult]) -> Dict[str, Dict[str, float]]:
     """Scalar summary of a batch — the header's ``metrics`` block.
 
-    One ``{mean, std, min, max, n}`` entry per available metric.  Kept to a
-    handful of floats so headers stay within the store's bounded
-    header-probe window regardless of trial count.
+    One ``{mean, std, min, max, n}`` entry per available metric, covering
+    the result metrics (:func:`metric_values`) and the worker-side phase
+    timings (:func:`phase_metric_values`).  Kept to a handful of floats so
+    headers stay within the store's bounded header-probe window regardless
+    of trial count.
     """
-    return {metric: _stats(vals) for metric, vals in metric_values(results).items()}
+    samples = dict(metric_values(results))
+    samples.update(phase_metric_values(results))
+    return {metric: _stats(vals) for metric, vals in samples.items()}

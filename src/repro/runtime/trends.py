@@ -42,7 +42,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.validation import BootstrapCI, bootstrap_mean_ci, variance_ratio_test
 from ..sim.rng import derive_seed
-from .provenance import metric_values, summarize_results
+from .provenance import PHASE_METRICS, metric_values, summarize_results
 from .store import ArtifactInfo, ResultsStore, _decode_floats, group_key
 from .trials import TrialResult
 
@@ -67,9 +67,15 @@ __all__ = [
 ]
 
 #: Metrics the tracker knows how to extract.  ``quality`` and ``messages``
-#: are per-trial samples; ``elapsed_seconds`` is one sample per artifact
-#: (machine-dependent — reported, but excluded from CI gating defaults).
-TREND_METRICS: Tuple[str, ...] = ("quality", "messages", "elapsed_seconds")
+#: are per-trial samples; ``elapsed_seconds`` and the ``phase_*`` timings
+#: (worker-side phase profiles, see :mod:`repro.runtime.obs`) are
+#: header-level samples (machine-dependent — reported, but excluded from
+#: CI gating defaults).
+TREND_METRICS: Tuple[str, ...] = (
+    "quality",
+    "messages",
+    "elapsed_seconds",
+) + PHASE_METRICS
 
 #: Metrics deterministic at fixed seeds — the sensible CI gate set.
 DEFAULT_CHECK_METRICS: Tuple[str, ...] = ("quality", "messages")
@@ -245,6 +251,14 @@ def record_metric_samples(record: TrendRecord) -> Dict[str, List[float]]:
     elapsed = record.metrics.get("elapsed_seconds")
     if isinstance(elapsed, (int, float)):
         out["elapsed_seconds"] = [float(elapsed)]
+    # Phase timings are never persisted in the payload (telemetry only);
+    # their cross-revision history is the header summary's mean.
+    for metric in PHASE_METRICS:
+        summary = record.metrics.get(metric)
+        if isinstance(summary, Mapping) and isinstance(
+            summary.get("mean"), (int, float)
+        ):
+            out[metric] = [float(summary["mean"])]
     return out
 
 

@@ -27,7 +27,7 @@ as one chunk — the graceful-fallback path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -49,8 +49,10 @@ from ..overlay.builders import (
 from ..overlay.graph import OverlayGraph
 from ..overlay.repair import RepairPolicySpec
 from ..sim.latency import LatencySpec
+from ..overlay.views import degree_histogram, degree_stats, powerlaw_exponent
 from ..sim.rng import RngHub, derive_seed
 from ..sim.rounds import RoundDriver
+from .obs import chunk_profiler, phase
 from .snapshots import SNAPSHOT_KINDS, ProbeReplayState, RepairReplayState
 
 __all__ = [
@@ -440,6 +442,12 @@ class TrialResult:
 
     ``value``/``true_size`` cover the scalar probe kinds; kinds that
     produce whole curves (aggregation) carry them in ``extra``.
+
+    ``profile`` carries worker-side phase timings attached by
+    :func:`run_chunk` (see :mod:`repro.runtime.obs`).  It is pure
+    telemetry: excluded from equality (``compare=False``) and from
+    :meth:`as_dict`, so stored artifacts and determinism comparisons are
+    byte-identical whether or not profiling ran.
     """
 
     index: int
@@ -448,6 +456,7 @@ class TrialResult:
     stream: int = 0
     ok: bool = True
     extra: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able form for the results store."""
@@ -501,11 +510,13 @@ def _chunk_graph(spec: TrialSpec) -> OverlayGraph:
     if isinstance(spec.overlay, OverlaySpec):
         seed = spec.hub_seed if spec.overlay_seed is None else spec.overlay_seed
         if spec.kind in _MUTATING_KINDS:
-            return spec.overlay.build(RngHub(seed))
+            with phase("boot"):
+                return spec.overlay.build(RngHub(seed))
         key = f"{seed}:{sorted(spec.overlay.as_config()['params'].items())}:{spec.overlay.builder}"
         graph = _GRAPH_CACHE.get(key)
         if graph is None:
-            graph = spec.overlay.build(RngHub(seed))
+            with phase("boot"):
+                graph = spec.overlay.build(RngHub(seed))
             while len(_GRAPH_CACHE) >= _GRAPH_CACHE_LIMIT:
                 _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
             _GRAPH_CACHE[key] = graph
@@ -531,10 +542,12 @@ def _run_static_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     out: List[TrialResult] = []
     for spec in specs:
         est = _make_estimator(spec, graph, hub.child(f"run{spec.index}"))
+        with phase("estimation", (spec.index, spec.stream)):
+            value = float(est.estimate().value)
         out.append(
             TrialResult(
                 index=spec.index,
-                value=float(est.estimate().value),
+                value=value,
                 true_size=float(graph.size),
                 stream=spec.stream,
             )
@@ -577,7 +590,8 @@ def _fresh_results(
         rng = np.random.default_rng(
             derive_seed(spec.hub_seed, f"{name}#{spec.index}")
         )
-        est = make_estimator(spec, rng).estimate()
+        with phase("estimation", (spec.index, spec.stream)):
+            est = make_estimator(spec, rng).estimate()
         out.append(
             TrialResult(
                 index=spec.index,
@@ -645,13 +659,16 @@ def _replay_probe(
     """
     first = specs[0]
     if snapshot is not None:
-        state = ProbeReplayState.restore(first, snapshot)
+        with phase("restore"):
+            state = ProbeReplayState.restore(first, snapshot)
     else:
-        state = ProbeReplayState.boot(first)
+        with phase("boot"):
+            state = ProbeReplayState.boot(first)
     last = max(spec.index for spec in specs)
     out: List[TrialResult] = []
     for i in range(state.position + 1, last + 1):
-        state.advance(i)
+        with phase("churn"):
+            state.advance(i)
         if state.dead:
             break
         out.extend(estimate_at(i, state.graph, state.hub))
@@ -671,9 +688,10 @@ def _run_dynamic_probe(
         if spec is None:
             return []
         try:
-            value = float(
-                _make_estimator(spec, graph, hub.child(f"run{i}")).estimate().value
-            )
+            with phase("estimation", (i, spec.stream)):
+                value = float(
+                    _make_estimator(spec, graph, hub.child(f"run{i}")).estimate().value
+                )
         except EstimatorError:
             value = float("nan")
         return [TrialResult(index=i, value=value, true_size=float(graph.size))]
@@ -696,7 +714,8 @@ def _run_multi_probe(
         for spec in sorted(by_index.get(i, ()), key=lambda s: s.stream):
             try:
                 est = _make_estimator(spec, graph, hub.child(f"s{spec.stream}r{i}"))
-                value = float(est.estimate().value)
+                with phase("estimation", (i, spec.stream)):
+                    value = float(est.estimate().value)
             except EstimatorError:
                 value = float("nan")
             out.append(
@@ -724,14 +743,15 @@ def _run_agg_convergence(specs: Sequence[TrialSpec]) -> List[TrialResult]:
         proto = AggregationProtocol(
             graph, rng=hub.child(f"agg{spec.index}").stream("proto")
         )
-        proto.start_epoch()
-        qs: List[float] = []
-        for _ in range(rounds):
-            proto.run_round()
-            try:
-                qs.append(float(proto.read().quality(n)))
-            except EstimatorError:  # pragma: no cover - initiator always has value
-                qs.append(0.0)
+        with phase("estimation", (spec.index, spec.stream)):
+            proto.start_epoch()
+            qs: List[float] = []
+            for _ in range(rounds):
+                proto.run_round()
+                try:
+                    qs.append(float(proto.read().quality(n)))
+                except EstimatorError:  # pragma: no cover - initiator always has value
+                    qs.append(0.0)
         out.append(
             TrialResult(
                 index=spec.index,
@@ -758,7 +778,8 @@ def _run_agg_epoch(specs: Sequence[TrialSpec]) -> List[TrialResult]:
             derive_seed(spec.hub_seed, f"proto#{spec.index - 1}")
         )
         proto = AggregationProtocol(graph, rng=rng)
-        est = proto.estimate(rounds=int(spec.params.get("rounds", 50)))
+        with phase("estimation", (spec.index, spec.stream)):
+            est = proto.estimate(rounds=int(spec.params.get("rounds", 50)))
         out.append(
             TrialResult(index=spec.index, value=float(est.value), true_size=float(n))
         )
@@ -776,7 +797,8 @@ def _run_agg_dynamic(specs: Sequence[TrialSpec]) -> List[TrialResult]:
         run_hub = hub.child(f"aggdyn{spec.index}")
         if not isinstance(spec.overlay, OverlaySpec):
             raise TypeError("agg_dynamic trials require an OverlaySpec")
-        graph = spec.overlay.build(run_hub)
+        with phase("boot"):
+            graph = spec.overlay.build(run_hub)
         driver = RoundDriver()
         scheduler = ChurnScheduler(
             graph,
@@ -793,7 +815,10 @@ def _run_agg_dynamic(specs: Sequence[TrialSpec]) -> List[TrialResult]:
         monitor.attach(driver)
         sizes: List[int] = []
         driver.subscribe(lambda rnd, g=graph, s=sizes: s.append(g.size), priority=30)
-        driver.run(int(p["horizon"]))
+        # Churn and continuous monitoring advance in lock step inside the
+        # driver; the inseparable scenario run is attributed to estimation.
+        with phase("estimation", (spec.index, spec.stream)):
+            driver.run(int(p["horizon"]))
 
         xs: List[float] = []
         ests: List[float] = []
@@ -845,13 +870,14 @@ def _run_delay_probe(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     hub = RngHub(first.hub_seed)
     graph = _chunk_graph(first)
     model = LatencySpec.from_config(p["latency"]).build(rng=hub.stream("lat"))
-    sc_est = ESTIMATOR_RNG_BUILDERS["sample_collide"](
-        graph, hub.stream("sc"), **p.get("sc", {})
-    ).estimate()
-    hops_params = dict(p.get("hops", {}))
-    hops_est = ESTIMATOR_RNG_BUILDERS["hops_sampling"](
-        graph, hub.stream("hops"), **hops_params
-    ).estimate()
+    with phase("estimation"):
+        sc_est = ESTIMATOR_RNG_BUILDERS["sample_collide"](
+            graph, hub.stream("sc"), **p.get("sc", {})
+        ).estimate()
+        hops_params = dict(p.get("hops", {}))
+        hops_est = ESTIMATOR_RNG_BUILDERS["hops_sampling"](
+            graph, hub.stream("hops"), **hops_params
+        ).estimate()
 
     walks = int(sc_est.meta["draws"])
     hops_per_walk = sc_est.meta["walk_hops"] / max(walks, 1)
@@ -914,14 +940,17 @@ def _run_repair_replay(
     """
     first = specs[0]
     if snapshot is not None:
-        state = RepairReplayState.restore(first, snapshot)
+        with phase("restore"):
+            state = RepairReplayState.restore(first, snapshot)
     else:
-        state = RepairReplayState.boot(first)
+        with phase("boot"):
+            state = RepairReplayState.boot(first)
     base = state.position
     if min(spec.index for spec in specs) < 1:
         raise ValueError("repair_replay indices are 1-based round numbers")
     last = max(spec.index for spec in specs)
-    state.advance(last)
+    with phase("churn"):
+        state.advance(last)
 
     wanted = {spec.index: spec for spec in specs}
     out: List[TrialResult] = []
@@ -942,6 +971,87 @@ def _run_repair_replay(
     return out
 
 
+def _run_overlay_stats(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """One overlay realization reduced to degree statistics (Fig 7).
+
+    The trial's ``value`` is the mean degree and ``true_size`` the node
+    count; ``extra`` carries the full ``(degree, count)`` histogram, the
+    :class:`~repro.overlay.views.DegreeStats` scalars, the ML power-law
+    exponent and ``average_degree`` (exactly ``graph.average_degree()``,
+    for consumers like Table I's analytic overhead models).  Everything is
+    a pure function of the built graph, so the result is as deterministic
+    as the overlay build itself.
+    """
+    graph = _chunk_graph(specs[0])
+    with phase("estimation"):
+        hist = degree_histogram(graph)
+        stats = degree_stats(graph)
+        try:
+            exponent = float(powerlaw_exponent(graph))
+        except ValueError:
+            exponent = float("nan")
+        extra = {
+            "histogram": [[int(d), int(c)] for d, c in hist],
+            "powerlaw_exponent": exponent,
+            "average_degree": float(graph.average_degree()),
+            **{k: v for k, v in stats.as_dict().items() if k != "n"},
+        }
+    return [
+        TrialResult(
+            index=spec.index,
+            value=float(stats.mean_degree),
+            true_size=float(graph.size),
+            stream=spec.stream,
+            extra=extra,
+        )
+        for spec in specs
+    ]
+
+
+def _run_stream_epoch(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Sequential Aggregation epochs drawing one shared hub stream (Table I).
+
+    The historical serial code ran ``AggregationProtocol(graph,
+    rng=hub.stream(name)).estimate(rounds=r)``: consecutive estimates on
+    one protocol instance consume one *continuous* generator.  Here the
+    i-th trial is the i-th ``estimate()`` call, so a chunk starting
+    mid-sequence replays (and discards) the earlier epochs' draws — the
+    same prefix-replay contract as ``delay_probe`` — making each trial a
+    function of ``(hub_seed, index)`` alone.  ``extra`` records the
+    epoch's message count for the tables' overhead columns.
+    """
+    first = specs[0]
+    p = first.params
+    hub = RngHub(first.hub_seed)
+    graph = _chunk_graph(first)
+    proto = AggregationProtocol(graph, rng=hub.stream(str(p.get("stream", "agg"))))
+    rounds = int(p.get("rounds", 50))
+    wanted = {spec.index: spec for spec in specs}
+    if min(wanted) < 0:
+        raise ValueError("stream_epoch indices are 0-based epoch numbers")
+    out: List[TrialResult] = []
+    for i in range(max(wanted) + 1):
+        spec = wanted.get(i)
+        key = (i, spec.stream) if spec is not None else None
+        with phase("estimation", key):
+            est = proto.estimate(rounds=rounds)
+        if spec is None:
+            continue
+        out.append(
+            TrialResult(
+                index=i,
+                value=float(est.value),
+                true_size=float(graph.size),
+                stream=spec.stream,
+                extra={
+                    "messages": int(est.messages),
+                    "meta": _scalar_meta(est.meta),
+                },
+            )
+        )
+    return out
+
+
 #: trial kind -> chunk runner.  Extend to open new workloads.  Runners of
 #: kinds in :data:`~repro.runtime.snapshots.SNAPSHOT_KINDS` additionally
 #: accept an optional replay-state snapshot as second argument.
@@ -956,6 +1066,8 @@ TRIAL_KINDS: Dict[str, Callable[..., List[TrialResult]]] = {
     "agg_convergence": _run_agg_convergence,
     "agg_epoch": _run_agg_epoch,
     "agg_dynamic": _run_agg_dynamic,
+    "overlay_stats": _run_overlay_stats,
+    "stream_epoch": _run_stream_epoch,
 }
 
 
@@ -984,8 +1096,29 @@ def run_chunk(
         raise ValueError(
             f"unknown trial kind {kind!r}; have {sorted(TRIAL_KINDS)}"
         ) from None
-    if kind in SNAPSHOT_KINDS:
-        return runner(specs, snapshot)
-    if snapshot is not None:
+    if snapshot is not None and kind not in SNAPSHOT_KINDS:
         raise ValueError(f"trial kind {kind!r} does not accept a replay snapshot")
-    return runner(specs)
+    with chunk_profiler() as prof:
+        if kind in SNAPSHOT_KINDS:
+            results = runner(specs, snapshot)
+        else:
+            results = runner(specs)
+    return _attach_profiles(results, prof)
+
+
+def _attach_profiles(results: List[TrialResult], prof) -> List[TrialResult]:
+    """Attach worker-side phase timings to each result (telemetry only).
+
+    The chunk-level summary (pid, epoch start, shared boot/restore/churn
+    phases) rides on the first result so exactly one copy crosses the
+    pickle channel per chunk.
+    """
+    summary = prof.chunk_summary()
+    out: List[TrialResult] = []
+    for pos, result in enumerate(results):
+        trial = prof.trials.get((result.index, result.stream))
+        profile: Dict[str, Any] = dict(trial) if trial else {"phases": {}}
+        if pos == 0:
+            profile["chunk"] = summary
+        out.append(replace(result, profile=profile))
+    return out

@@ -12,20 +12,24 @@ This module provides:
   most recent one-shot estimates, the smoother curve in Figs 1-4);
 * :class:`EstimateSeries` — an append-only log of (x, estimate, true size)
   triples with summary statistics (precision windows like "remains within a
-  10% precision window", under-estimation bias checks, etc.).
+  10% precision window", under-estimation bias checks, etc.);
+* :class:`PhaseBreakdown` — aggregate of worker-phase wall-time profiles
+  (boot/restore/churn/estimation/serialize spans recorded by the runtime's
+  run journal, see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Tuple
 
 import numpy as np
 
 __all__ = [
     "quality_percent",
     "error_percent",
+    "PhaseBreakdown",
     "RollingAverage",
     "EstimateSeries",
     "SeriesSummary",
@@ -110,6 +114,68 @@ class SeriesSummary:
             "bias": self.bias,
             "within_10pct": self.within_10pct,
             "within_20pct": self.within_20pct,
+        }
+
+
+@dataclass
+class PhaseBreakdown:
+    """Accumulated wall-time per named execution phase.
+
+    Feed it the ``phases`` mappings carried by journal ``chunk_done`` /
+    ``trial`` events (or :class:`~repro.runtime.TrialResult` profiles);
+    it keeps the total seconds and span count per phase and derives
+    shares and means.  Phase names are not validated here — the runtime
+    owns the taxonomy (``repro.runtime.PHASES``).
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, phases: Mapping[str, float]) -> None:
+        """Accumulate one span's ``{phase: seconds}`` mapping."""
+        for name, seconds in phases.items():
+            self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    @classmethod
+    def from_profiles(
+        cls, profiles: Iterable[Mapping[str, float]]
+    ) -> "PhaseBreakdown":
+        """Aggregate an iterable of ``{phase: seconds}`` mappings."""
+        breakdown = cls()
+        for phases in profiles:
+            breakdown.add(phases)
+        return breakdown
+
+    @property
+    def busy(self) -> float:
+        """Total attributed seconds across all phases."""
+        return float(sum(self.totals.values()))
+
+    def share(self, name: str) -> float:
+        """Phase's fraction of total attributed time, in percent."""
+        busy = self.busy
+        if busy <= 0:
+            return 0.0
+        return 100.0 * self.totals.get(name, 0.0) / busy
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per span of ``name`` (NaN when unseen)."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return float("nan")
+        return self.totals[name] / count
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{total, spans, share, mean}`` for reporting."""
+        return {
+            name: {
+                "total": self.totals[name],
+                "spans": self.counts[name],
+                "share": self.share(name),
+                "mean": self.mean(name),
+            }
+            for name in self.totals
         }
 
 
