@@ -45,14 +45,22 @@ CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
 #: Optional per-run trend summary file (e.g. BENCH_trends.json).
 BENCH_TRENDS = os.environ.get("REPRO_BENCH_TRENDS") or None
+#: Graph backend for kernel-capable estimators (docs/KERNELS.md).  "array"
+#: runs the batched numpy kernels; results are distributionally — not
+#: bitwise — equivalent and cache under distinct content addresses.
+GRAPH_BACKEND = os.environ.get("REPRO_GRAPH_BACKEND", "dict")
 
 
 def _experiment_kwargs(fn: Callable) -> dict:
     kwargs = {"scale": SCALE, "seed": SEED}
-    if (CACHE_DIR or WORKERS > 1) and supports_runtime(fn):
+    runtime_needed = CACHE_DIR or WORKERS > 1 or GRAPH_BACKEND != "dict"
+    if runtime_needed and supports_runtime(fn):
         # the tag labels store artifacts for `repro-experiment cache ls`
         kwargs["runtime"] = RuntimeOptions.create(
-            workers=WORKERS, cache_dir=CACHE_DIR, tag=fn.__name__
+            workers=WORKERS,
+            cache_dir=CACHE_DIR,
+            tag=fn.__name__,
+            graph_backend=GRAPH_BACKEND,
         )
     return kwargs
 

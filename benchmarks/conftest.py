@@ -1,7 +1,11 @@
 """Benchmark harness configuration: puts this directory on sys.path so the
-per-figure modules can import the shared `_common` helpers."""
+per-figure modules can import the shared `_common` helpers, and the tests
+directory so they can import the shared `statcheck` assertions."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "tests")
+)

@@ -9,6 +9,7 @@ processes and `REPRO_CACHE_DIR` serves warm reruns from the
 content-addressed store — output bit-identical either way.
 """
 
+import statcheck
 from _common import run_experiment
 from repro.experiments.ablations import topology_comparison
 
@@ -21,8 +22,11 @@ def test_ablation_topology(benchmark):
     # (uniform sampling needs no degree correction there).  The slack is
     # wide because 8 repetitions of S&C put several points of noise on
     # each mean-abs-error estimate at this scale.
-    assert by[("homogeneous", "Sample&Collide (l=200)")] <= (
-        by[("heterogeneous", "Sample&Collide (l=200)")] + 4.0
+    statcheck.assert_le_with_slack(
+        by[("homogeneous", "Sample&Collide (l=200)")],
+        by[("heterogeneous", "Sample&Collide (l=200)")],
+        slack=4.0,
+        label="S&C homogeneous vs heterogeneous",
     )
     # Aggregation is exact on both (mass conservation is topology-free).
     assert by[("heterogeneous", "Aggregation (50 rounds)")] < 1

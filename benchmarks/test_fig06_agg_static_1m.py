@@ -4,6 +4,7 @@ Paper shape: same convergence to 100%, needing a few more rounds than the
 '100k' overlay (≈50 vs ≈40 in the paper — log N scaling).
 """
 
+import statcheck
 from _common import run_experiment
 from repro.experiments.static import (
     fig05_aggregation_100k,
@@ -28,4 +29,6 @@ def test_fig06(benchmark):
     small_fig = fig05_aggregation_100k(scale="small", seed=20060619)
     big_rounds = sorted(_rounds_to_one_percent(c) for c in fig.curves)[1]
     small_rounds = sorted(_rounds_to_one_percent(c) for c in small_fig.curves)[1]
-    assert big_rounds >= small_rounds - 2
+    statcheck.assert_ge_with_slack(
+        big_rounds, small_rounds, slack=2, label="fig6 vs fig5 median epoch"
+    )

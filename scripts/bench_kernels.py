@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""A/B benchmark of the array-kernel backend vs the dict reference.
+
+Produces ``BENCH_KERNELS.json`` (committed at the repo root), the evidence
+behind the backend's performance claim (``docs/KERNELS.md``):
+
+* **fig11 A/B** — the paper-scale Fig 11 trial batch (Sample&Collide
+  oneShot over a −50% shrinking overlay, 3 estimation streams) run once
+  per backend, reporting per-phase profile totals.  The gate: the array
+  backend's total ``estimation`` phase (which *includes* the dict→CSR
+  conversion, charged where it happens) must be ≥ 3× faster than the
+  reference.
+* **n=1M scaling point** — one overlay at the paper's "1M" size, timing
+  conversion and per-estimate cost on both backends.
+* **bulk accessor micro-bench** — ``OverlayGraph.degrees()`` /
+  ``neighbour_arrays()`` against the per-node loops they replace.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py [--scale paper]
+        [--out BENCH_KERNELS.json] [--skip-1m] [--min-speedup 3.0]
+
+Exits non-zero when the speedup gate fails, so the script doubles as a
+regression check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.churn.models import shrinking_trace  # noqa: E402
+from repro.core.sample_collide import SampleCollideEstimator  # noqa: E402
+from repro.experiments.config import ExperimentConfig, resolve_scale  # noqa: E402
+from repro.experiments.runner import overlay_spec  # noqa: E402
+from repro.overlay.builders import heterogeneous_random  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    EstimatorSpec,
+    RuntimeOptions,
+    TrialSpec,
+    run_trials,
+    trace_to_payload,
+)
+from repro.runtime.provenance import phase_metric_values  # noqa: E402
+from repro.sim.rng import RngHub  # noqa: E402
+
+STREAMS = 3  # fig11 plots Estimation #1..#3
+
+
+def fig11_specs(cfg: ExperimentConfig) -> list:
+    """The Fig 11 trial batch, constructed exactly like the figure does."""
+    hub = RngHub(cfg.seed).child("fig11")
+    n = cfg.scale.n_100k
+    count = cfg.scale.dynamic_estimations
+    trace = shrinking_trace(n, 0.5, start=1.0, end=float(count), steps=count - 1)
+    params = {
+        "trace": trace_to_payload(trace),
+        "time_per_estimation": 1.0,
+        "max_degree": int(cfg.max_degree),
+    }
+    estimator = EstimatorSpec.sample_collide(l=cfg.sc_l, timer=cfg.sc_timer)
+    return [
+        TrialSpec(
+            "multi_probe",
+            hub.seed,
+            i,
+            overlay=overlay_spec(cfg, n),
+            estimator=estimator,
+            params=params,
+            stream=k,
+        )
+        for i in range(1, count + 1)
+        for k in range(STREAMS)
+    ]
+
+
+def run_backend(specs: list, backend: str, workers: int) -> dict:
+    """Run one backend's batch; report wall clock and phase totals."""
+    runtime = RuntimeOptions(workers=workers, graph_backend=backend)
+    started = time.perf_counter()
+    results = run_trials(specs, runtime=runtime)
+    wall = time.perf_counter() - started
+    phases = phase_metric_values(results)
+    values = [r.value for r in results if r.ok]
+    return {
+        "trials": len(results),
+        "wall_seconds": round(wall, 3),
+        "estimation_seconds": round(sum(phases.get("phase_estimation", [])), 3),
+        "kernel_seconds": round(sum(phases.get("phase_kernel", [])), 3),
+        "churn_seconds": round(sum(phases.get("phase_churn", [])), 3),
+        "boot_seconds": round(sum(phases.get("phase_boot", [])), 3),
+        "mean_estimate": round(float(np.mean(values)), 1) if values else None,
+    }
+
+
+def bench_1m(n: int, estimates: int = 3) -> dict:
+    """One big-overlay scaling point: conversion + per-estimate cost."""
+    t0 = time.perf_counter()
+    graph = heterogeneous_random(n, rng=42)
+    build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graph.to_array()
+    to_array = time.perf_counter() - t0
+
+    out = {
+        "n": n,
+        "build_seconds": round(build, 2),
+        "to_array_seconds": round(to_array, 3),
+        "estimates_per_backend": estimates,
+    }
+    for backend in ("dict", "array"):
+        t0 = time.perf_counter()
+        values = []
+        for seed in range(estimates):
+            est = SampleCollideEstimator(
+                graph, l=200, timer=10.0,
+                rng=np.random.default_rng(seed), backend=backend,
+            )
+            values.append(est.estimate().value)
+        out[f"{backend}_seconds_per_estimate"] = round(
+            (time.perf_counter() - t0) / estimates, 3
+        )
+        out[f"{backend}_mean_estimate"] = round(float(np.mean(values)), 1)
+    return out
+
+
+def bench_accessors(n: int = 100_000) -> dict:
+    """Micro-bench of the bulk accessors vs the per-node loops."""
+    graph = heterogeneous_random(n, rng=42)
+
+    def timeit(fn, repeats=5):
+        best = min(
+            (lambda t0: (fn(), time.perf_counter() - t0)[1])(time.perf_counter())
+            for _ in range(repeats)
+        )
+        return round(best * 1000, 2)
+
+    return {
+        "n": n,
+        "degrees_bulk_ms": timeit(graph.degrees),
+        "degrees_loop_ms": timeit(lambda: [graph.degree(u) for u in graph]),
+        "neighbour_arrays_ms": timeit(graph.neighbour_arrays),
+        "neighbour_loop_ms": timeit(
+            lambda: [list(graph.neighbors(u)) for u in graph]
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    """Run the A/B matrix and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="paper", help="scale preset (default: paper)")
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_KERNELS.json"
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--skip-1m", action="store_true")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    scale = resolve_scale(args.scale)
+    cfg = ExperimentConfig(scale=scale)
+    specs = fig11_specs(cfg)
+    print(f"fig11 @ {scale.name}: {len(specs)} trials per backend", flush=True)
+
+    ab = {}
+    for backend in ("dict", "array"):
+        ab[backend] = run_backend(specs, backend, args.workers)
+        print(f"  {backend}: {ab[backend]}", flush=True)
+
+    speedup = ab["dict"]["estimation_seconds"] / max(
+        ab["array"]["estimation_seconds"], 1e-9
+    )
+    gate_passed = speedup >= args.min_speedup
+    report = {
+        "generated_by": "scripts/bench_kernels.py",
+        "scale": scale.name,
+        "workers": args.workers,
+        "fig11_ab": {
+            **ab,
+            "estimation_speedup": round(speedup, 2),
+            "gate_min_speedup": args.min_speedup,
+            "gate_passed": gate_passed,
+        },
+        "bulk_accessors": bench_accessors(min(scale.n_100k, 100_000)),
+    }
+    if not args.skip_1m:
+        print(f"1M scaling point (n={scale.n_1m}) ...", flush=True)
+        report["scaling_1m"] = bench_1m(scale.n_1m)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out} (estimation speedup {speedup:.2f}x)")
+    if not gate_passed:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below gate {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

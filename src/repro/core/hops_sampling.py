@@ -43,6 +43,7 @@ from ..overlay.graph import OverlayGraph
 from ..sim.messages import MessageKind, MessageMeter
 from ..sim.rng import RngLike
 from .base import Estimate, EstimatorError, SizeEstimator
+from .kernels import GRAPH_BACKENDS, bfs_frontier_distances, gossip_spread_kernel
 
 __all__ = ["HopsSamplingEstimator", "GossipSampleEstimator", "SpreadResult"]
 
@@ -163,6 +164,11 @@ class HopsSamplingEstimator(SizeEstimator):
         §V's verification mode: every node is reached at its exact BFS
         distance (the spread still runs — and is billed — but its recorded
         distances are replaced by ground truth).  Removes the bias.
+    backend:
+        ``"dict"`` (reference: spread over the sorted-id CSR view) or
+        ``"array"`` — the frontier kernels of :mod:`repro.core.kernels`
+        over the overlay's insertion-ordered array twin.  Distributionally
+        — not draw-for-draw — equivalent (docs/KERNELS.md).
     """
 
     name = "hops_sampling"
@@ -178,6 +184,7 @@ class HopsSamplingEstimator(SizeEstimator):
         rng: RngLike = None,
         meter: Optional[MessageMeter] = None,
         oracle_distances: bool = False,
+        backend: str = "dict",
     ) -> None:
         super().__init__(graph, rng=rng, meter=meter)
         if gossip_to < 1:
@@ -190,12 +197,15 @@ class HopsSamplingEstimator(SizeEstimator):
             raise ValueError(
                 f"min_hops_reporting must be >= 0, got {min_hops_reporting}"
             )
+        if backend not in GRAPH_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; have {GRAPH_BACKENDS}")
         self.gossip_to = int(gossip_to)
         self.gossip_for = int(gossip_for)
         self.gossip_until = int(gossip_until)
         self.min_hops_reporting = int(min_hops_reporting)
         self.initiator = initiator
         self.oracle_distances = bool(oracle_distances)
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -203,22 +213,38 @@ class HopsSamplingEstimator(SizeEstimator):
         """Spread the poll, collect probabilistic replies, extrapolate."""
         self._require_nonempty()
         before = self.meter.total
-        view = self.graph.csr()
-        init_pos = self._initiator_pos(view)
 
-        spread = _gossip_spread(
-            view,
-            init_pos,
-            self.gossip_to,
-            self.gossip_for,
-            self.gossip_until,
-            self.rng,
-        )
+        if self.backend == "array":
+            view = self.graph.to_array()
+            init_pos = self._initiator_pos_array(view)
+            hops, spread_messages, rounds = gossip_spread_kernel(
+                view,
+                init_pos,
+                self.gossip_to,
+                self.gossip_for,
+                self.gossip_until,
+                self.rng,
+            )
+            spread = SpreadResult(
+                hops=hops, spread_messages=spread_messages, rounds=rounds
+            )
+            if self.oracle_distances:
+                hops = bfs_frontier_distances(view, init_pos)
+        else:
+            view = self.graph.csr()
+            init_pos = self._initiator_pos(view)
+            spread = _gossip_spread(
+                view,
+                init_pos,
+                self.gossip_to,
+                self.gossip_for,
+                self.gossip_until,
+                self.rng,
+            )
+            hops = spread.hops
+            if self.oracle_distances:
+                hops = view.bfs_distances(init_pos)
         self.meter.add(MessageKind.SPREAD, spread.spread_messages)
-
-        hops = spread.hops
-        if self.oracle_distances:
-            hops = view.bfs_distances(init_pos)
 
         # Report phase: every reached non-initiator node flips its coin.
         mask = (hops >= 1)
@@ -256,6 +282,16 @@ class HopsSamplingEstimator(SizeEstimator):
     def _initiator_pos(self, view) -> int:
         if self.initiator is not None:
             pos = view.index_of.get(self.initiator)
+            if pos is None:
+                raise EstimatorError(
+                    f"hops_sampling: initiator {self.initiator} departed"
+                )
+            return pos
+        return int(self.rng.integers(view.n))
+
+    def _initiator_pos_array(self, view) -> int:
+        if self.initiator is not None:
+            pos = view.position_of.get(int(self.initiator))
             if pos is None:
                 raise EstimatorError(
                     f"hops_sampling: initiator {self.initiator} departed"

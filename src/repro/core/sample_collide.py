@@ -37,6 +37,7 @@ from ..sim.messages import MessageKind, MessageMeter
 from ..sim.rng import RngLike
 from .base import Estimate, EstimatorError, SizeEstimator
 from .birthday import invert_first_collision, sample_collide_estimate
+from .kernels import GRAPH_BACKENDS, sample_collide_sweep
 from .sampling import UniformWalkSampler
 
 __all__ = ["SampleCollideEstimator", "InvertedBirthdayEstimator"]
@@ -61,6 +62,12 @@ class SampleCollideEstimator(SizeEstimator):
         Initial guess of the system size used only to size the first batch
         of pre-drawn walks; wrong guesses cost a little extra batching, not
         correctness.
+    backend:
+        ``"dict"`` (reference, per-sample Python accounting) or
+        ``"array"`` — the batched walker kernels of
+        :mod:`repro.core.kernels` over the overlay's array twin.  The two
+        backends are distributionally — not draw-for-draw — equivalent
+        (docs/KERNELS.md).
     """
 
     name = "sample_collide"
@@ -74,20 +81,28 @@ class SampleCollideEstimator(SizeEstimator):
         rng: RngLike = None,
         meter: Optional[MessageMeter] = None,
         batch_hint: Optional[int] = None,
+        backend: str = "dict",
     ) -> None:
         super().__init__(graph, rng=rng, meter=meter)
         if l < 1:
             raise ValueError(f"collision target l must be >= 1, got {l}")
+        if backend not in GRAPH_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; have {GRAPH_BACKENDS}"
+            )
         self.l = int(l)
         self.timer = float(timer)
         self.initiator = initiator
         self.batch_hint = batch_hint
+        self.backend = backend
         self._sampler = UniformWalkSampler(graph, timer=timer, rng=self.rng)
 
     # ------------------------------------------------------------------
 
     def estimate(self) -> Estimate:
         """Draw samples until ``l`` collisions; return ``C(C−1)/(2l)``."""
+        if self.backend == "array":
+            return self._estimate_array()
         self._require_nonempty()
         before = self.meter.total
         initiator = self._pick_initiator()
@@ -157,6 +172,55 @@ class SampleCollideEstimator(SizeEstimator):
         )
 
     # ------------------------------------------------------------------
+
+    def _estimate_array(self) -> Estimate:
+        """Array-backend estimation via the batched walker kernels.
+
+        Same protocol, sizing policy and meta keys as the reference path;
+        walker advancement and collision counting run as vector kernels on
+        the overlay's insertion-ordered CSR twin.  The initiator draw
+        consumes one uniform integer either way, but over insertion — not
+        sorted — node order, part of the documented RNG-lineage split.
+        """
+        self._require_nonempty()
+        before = self.meter.total
+        view = self.graph.to_array()
+        if self.initiator is not None:
+            init_pos = view.position_of.get(int(self.initiator))
+            if init_pos is None:
+                raise EstimatorError(
+                    f"sample_collide: initiator {self.initiator} departed"
+                )
+            initiator = self.initiator
+        else:
+            init_pos = int(self.rng.integers(view.n))
+            initiator = int(view.nodes[init_pos])
+        hint = self.batch_hint if self.batch_hint is not None else self.graph.size
+        value, draws, collisions, distinct, walk_hops = sample_collide_sweep(
+            view,
+            init_pos,
+            self.l,
+            self.timer,
+            self.rng,
+            max(int(hint), 1),
+            max_hops=self._sampler.max_hops,
+        )
+        self.meter.add(MessageKind.WALK, walk_hops)
+        self.meter.add(MessageKind.REPLY, draws)
+        return Estimate(
+            value=value,
+            messages=self.meter.total - before,
+            algorithm=self.name,
+            meta={
+                "draws": draws,
+                "collisions": collisions,
+                "distinct": distinct,
+                "walk_hops": walk_hops,
+                "initiator": initiator,
+                "l": self.l,
+                "timer": self.timer,
+            },
+        )
 
     def _pick_initiator(self) -> int:
         if self.initiator is not None:

@@ -231,6 +231,18 @@ def _add_run_parser(subparsers) -> None:
         ),
     )
     run.add_argument(
+        "--graph-backend",
+        choices=("dict", "array"),
+        default=os.environ.get("REPRO_GRAPH_BACKEND", "dict"),
+        help=(
+            "graph representation for kernel-capable estimators: 'dict' "
+            "(reference) or 'array' (batched numpy kernels; distributionally "
+            "equivalent but not bit-identical to the reference, and cached "
+            "under a distinct content address — see docs/KERNELS.md; "
+            "default: $REPRO_GRAPH_BACKEND or 'dict')"
+        ),
+    )
+    run.add_argument(
         "--progress",
         action="store_true",
         help="log trial progress to stderr",
@@ -551,6 +563,7 @@ def _runtime_options(
         progress=progress,
         tag=tag,
         snapshots=not getattr(args, "no_snapshot", False),
+        graph_backend=getattr(args, "graph_backend", "dict"),
     )
 
 

@@ -7,6 +7,7 @@ from .builders import (
     ring_lattice,
     scale_free,
 )
+from .arraygraph import ArrayOverlayGraph
 from .graph import CsrView, GraphError, OverlayGraph
 from .membership import JoinReport, MembershipPolicy
 from .repair import DegreeRepair, FullRepair, NoRepair, RepairPolicy
@@ -21,6 +22,7 @@ from .views import (
 )
 
 __all__ = [
+    "ArrayOverlayGraph",
     "CsrView",
     "DegreeStats",
     "GraphError",

@@ -1,0 +1,351 @@
+"""Insertion-ordered CSR twin of :class:`~repro.overlay.graph.OverlayGraph`.
+
+:class:`ArrayOverlayGraph` is the flat-array representation the batched
+estimator kernels (:mod:`repro.core.kernels`) run on: node ids, a CSR row
+pointer and a flat neighbour array, all held as contiguous ``int64`` numpy
+arrays so a walker batch advances with gathers instead of dict lookups.
+
+It differs from :class:`~repro.overlay.graph.CsrView` in one load-bearing
+way: **rows and row contents keep the dict graph's insertion order** (the
+PR-5 determinism contract, ``docs/SNAPSHOTS.md``) instead of sorting node
+ids.  That makes the twin a lossless re-encoding of the dict graph's
+behavioural state — :meth:`to_overlay` reconstructs a graph whose node
+iteration order, neighbour iteration order and ``next_id`` are identical,
+and :meth:`snapshot` produces byte-for-byte the same payload as
+:meth:`OverlayGraph.snapshot`.  The equivalence suite
+(``tests/overlay/test_arraygraph_equivalence.py``) holds both properties
+under churn/repair round-trips.
+
+The twin is immutable: it captures one graph state.  Mutations happen on
+the dict graph (the source of truth), which lazily rebuilds its cached
+twin via :meth:`OverlayGraph.to_array` — incrementally
+(:meth:`ArrayOverlayGraph.from_overlay_incremental`) when the mutation
+log since the previous twin touched only a fraction of the rows, as churn
+does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .graph import GraphError, OverlayGraph
+
+__all__ = ["ArrayOverlayGraph"]
+
+
+def _member_mask(ids: Iterable[int], size: int) -> np.ndarray:
+    """Boolean membership table over ``0..size-1`` (ids beyond it ignored)."""
+    mask = np.zeros(max(size, 1), dtype=bool)
+    ids = list(ids)
+    if ids:
+        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        arr = arr[arr < size]
+        if arr.size:
+            mask[arr] = True
+    return mask
+
+
+class ArrayOverlayGraph:
+    """Immutable insertion-ordered CSR snapshot of an overlay.
+
+    Attributes
+    ----------
+    nodes:
+        Alive node ids in dict-graph insertion order, shape ``(n,)``.
+    indptr:
+        CSR row pointer, shape ``(n + 1,)``.
+    indices:
+        Flat neighbour array holding *positions into* ``nodes`` (compact
+        ``0..n-1`` space); the neighbours of row ``k`` are
+        ``indices[indptr[k]:indptr[k+1]]`` in per-node insertion order.
+    next_id:
+        The dict graph's id counter, carried so round-trips preserve the
+        full behavioural state.
+    """
+
+    __slots__ = ("nodes", "indptr", "indices", "next_id", "_position_of", "_inv_deg")
+
+    def __init__(
+        self,
+        nodes: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        next_id: int,
+    ) -> None:
+        self.nodes = nodes
+        self.indptr = indptr
+        self.indices = indices
+        self.next_id = int(next_id)
+        self._position_of: Optional[Dict[int, int]] = None
+        self._inv_deg: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayOverlayGraph(n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # construction / round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_overlay(cls, graph: OverlayGraph) -> "ArrayOverlayGraph":
+        """Encode ``graph`` into its array twin (one bulk adjacency pass).
+
+        Raw neighbour ids translate to compact positions via a dense
+        id → position lookup table when ids are counter-dense (the normal
+        case: ids come from the graph's ``next_id`` counter, so
+        ``max_id < next_id ≈ n + departures``), falling back to the
+        ``argsort`` + ``searchsorted`` idiom for sparse id spaces —
+        ``nodes`` is *not* sorted, so a permutation must mediate either way.
+        """
+        nodes, indptr, flat = graph.neighbour_arrays()
+        return cls(
+            nodes=nodes,
+            indptr=indptr,
+            indices=cls._compact_indices(nodes, flat),
+            next_id=graph.next_id,
+        )
+
+    @staticmethod
+    def _compact_indices(nodes: np.ndarray, flat: np.ndarray) -> np.ndarray:
+        """Translate raw neighbour ids to positions into ``nodes``."""
+        if not flat.size:
+            return np.zeros(0, dtype=np.int64)
+        max_id = int(nodes.max())
+        if max_id < 4 * nodes.shape[0] + 1024:
+            lut = np.empty(max_id + 1, dtype=np.int64)
+            lut[nodes] = np.arange(nodes.shape[0], dtype=np.int64)
+            return lut[flat]
+        order = np.argsort(nodes, kind="stable")
+        return order[np.searchsorted(nodes[order], flat)]
+
+    @classmethod
+    def from_overlay_incremental(
+        cls,
+        graph: OverlayGraph,
+        base: "ArrayOverlayGraph",
+        dirty: Iterable[int],
+        removed: Iterable[int],
+        appended: Sequence[int],
+    ) -> "ArrayOverlayGraph":
+        """Re-encode ``graph`` by patching ``base``, touching only changed rows.
+
+        ``base`` is a twin of some *earlier* state of ``graph``; ``dirty``
+        holds ids whose neighbour row changed since then, ``removed`` ids
+        that departed (even if later re-added), and ``appended`` ids added
+        since — in call order, duplicates resolved last-add-wins.  Rows the
+        mutation log never touched copy over as vectorized segment gathers,
+        so only the changed rows pay the per-edge Python iteration that
+        dominates :meth:`from_overlay`.  Insertion order is preserved by
+        construction: survivors keep their relative order (dict removals
+        never reorder the rest) and (re-)added rows append at the end,
+        exactly as the source dict iterates.  The result is bit-identical
+        to ``from_overlay(graph)``.
+        """
+        adj = graph._adj
+        old_nodes = base.nodes
+        old_deg = np.diff(base.indptr)
+        old_flat_ids = old_nodes[base.indices]
+
+        lut_size = int(old_nodes.max()) + 1
+        survivor = ~_member_mask(removed, lut_size)[old_nodes]
+        old_dirty = _member_mask(dirty, lut_size)[old_nodes]
+        surv_nodes = old_nodes[survivor]
+        surv_dirty = old_dirty[survivor]
+
+        # (Re-)added rows sit at the end of the dict in last-add order.
+        seen: set = set()
+        app: List[int] = []
+        for u in reversed(list(appended)):
+            if u not in seen:
+                seen.add(u)
+                if u in adj:
+                    app.append(u)
+        app.reverse()
+        app_arr = np.fromiter(app, dtype=np.int64, count=len(app))
+
+        nodes_new = np.concatenate([surv_nodes, app_arr])
+        deg_surv = old_deg[survivor]
+        if surv_dirty.any():
+            fresh = surv_nodes[surv_dirty].tolist()
+            deg_surv = deg_surv.copy()
+            deg_surv[surv_dirty] = np.fromiter(
+                (len(adj[u]) for u in fresh), dtype=np.int64, count=len(fresh)
+            )
+        deg_app = np.fromiter(
+            (len(adj[u]) for u in app), dtype=np.int64, count=len(app)
+        )
+        degrees = np.concatenate([deg_surv, deg_app])
+        indptr = np.zeros(nodes_new.shape[0] + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+
+        # Changed rows re-read the dict (one chained pass over their edges
+        # only); unchanged rows gather their old flat segments in bulk.
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        row_dirty = np.concatenate([surv_dirty, np.ones(len(app), dtype=bool)])
+        edge_dirty = np.repeat(row_dirty, degrees)
+        changed_rows = itertools.chain(surv_nodes[surv_dirty].tolist(), app)
+        flat[edge_dirty] = np.fromiter(
+            itertools.chain.from_iterable(adj[u] for u in changed_rows),
+            dtype=np.int64,
+            count=int(degrees[row_dirty].sum()),
+        )
+        clean = survivor & ~old_dirty
+        lens = old_deg[clean]
+        total = int(lens.sum())
+        if total:
+            starts = base.indptr[:-1][clean]
+            shift = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(lens[:-1])]
+            )
+            gather = np.repeat(starts - shift, lens) + np.arange(
+                total, dtype=np.int64
+            )
+            flat[~edge_dirty] = old_flat_ids[gather]
+
+        if nodes_new.shape[0] != len(adj) or int(indptr[-1]) != 2 * graph.num_edges:
+            raise GraphError(
+                "incremental twin diverged from the overlay "
+                f"({nodes_new.shape[0]} rows vs {len(adj)}, "
+                f"{int(indptr[-1])} half-edges vs {2 * graph.num_edges})"
+            )
+        return cls(
+            nodes=nodes_new,
+            indptr=indptr,
+            indices=cls._compact_indices(nodes_new, flat),
+            next_id=graph.next_id,
+        )
+
+    def to_overlay(self) -> OverlayGraph:
+        """Decode back to a behaviorally identical dict graph.
+
+        Node order, per-node neighbour order and ``next_id`` all carry
+        over, so the result is indistinguishable from the graph this twin
+        was taken from — for every future mutation, sample and snapshot.
+        """
+        return OverlayGraph.restore(self.snapshot())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The *same* pure-data payload :meth:`OverlayGraph.snapshot` yields.
+
+        Equality (and therefore content-hash equality) with the source
+        graph's snapshot is the structural half of the backend
+        cross-validation gate.
+        """
+        flat: List[int] = self.nodes[self.indices].tolist()
+        bounds: List[int] = self.indptr.tolist()
+        return {
+            "nodes": self.nodes.tolist(),
+            "adj": [flat[bounds[k] : bounds[k + 1]] for k in range(self.n)],
+            "next_id": self.next_id,
+        }
+
+    @classmethod
+    def restore(cls, snap: Mapping[str, Any]) -> "ArrayOverlayGraph":
+        """Build a twin straight from a :meth:`snapshot` payload."""
+        return cls.from_overlay(OverlayGraph.restore(snap))
+
+    # ------------------------------------------------------------------
+    # accessors (kernel-facing)
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of alive nodes."""
+        return int(self.nodes.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Alias of :attr:`n`, mirroring :attr:`OverlayGraph.size`."""
+        return self.n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0]) // 2
+
+    @property
+    def position_of(self) -> Dict[int, int]:
+        """Raw node id → row position (built lazily, like ``CsrView.index_of``)."""
+        if self._position_of is None:
+            self._position_of = {int(u): i for i, u in enumerate(self.nodes)}
+        return self._position_of
+
+    def degrees(self) -> np.ndarray:
+        """Degree per row, aligned with :attr:`nodes` (insertion order)."""
+        return np.diff(self.indptr)
+
+    def inv_degrees(self) -> np.ndarray:
+        """``1/degree`` per row, ``inf`` at dead ends (cached).
+
+        The walker kernels multiply exponential TTL decrements by this
+        vector; the ``inf`` rows make a dead end absorb any walk that
+        reaches it without a separate liveness mask.
+        """
+        if self._inv_deg is None:
+            with np.errstate(divide="ignore"):
+                self._inv_deg = 1.0 / np.diff(self.indptr)
+        return self._inv_deg
+
+    def average_degree(self) -> float:
+        """Mean degree (0.0 for the empty graph)."""
+        return 2.0 * self.m / self.n if self.n else 0.0
+
+    def neighbors(self, pos: int) -> np.ndarray:
+        """Compact neighbour positions of the row at ``pos``."""
+        return self.indices[self.indptr[pos] : self.indptr[pos + 1]]
+
+    def neighbor_ids(self, node: int) -> np.ndarray:
+        """Raw neighbour ids of ``node`` in insertion order."""
+        pos = self.position_of.get(int(node))
+        if pos is None:
+            raise GraphError(f"node {node} is not in the overlay")
+        return self.nodes[self.neighbors(pos)]
+
+    def sample_neighbors(
+        self, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One uniform random neighbour per position (``-1`` when isolated).
+
+        Identical draw pattern to :meth:`CsrView.sample_neighbors`: a
+        single pre-drawn uniform block scaled by the degree vector.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        starts = self.indptr[positions]
+        degs = self.indptr[positions + 1] - starts
+        out = np.full(positions.shape, -1, dtype=np.int64)
+        nz = degs > 0
+        if np.any(nz):
+            offsets = (rng.random(int(nz.sum())) * degs[nz]).astype(np.int64)
+            out[nz] = self.indices[starts[nz] + offsets]
+        return out
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert CSR well-formedness and undirected symmetry."""
+        n = self.n
+        if self.indptr.shape[0] != n + 1:
+            raise GraphError("indptr length must be n + 1")
+        if int(self.indptr[0]) != 0 or np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing from 0")
+        if int(self.indptr[-1]) != self.indices.shape[0]:
+            raise GraphError("indptr tail must equal len(indices)")
+        if n and len(set(self.nodes.tolist())) != n:
+            raise GraphError("duplicate node ids")
+        if self.indices.size and (
+            int(self.indices.min()) < 0 or int(self.indices.max()) >= n
+        ):
+            raise GraphError("neighbour position out of range")
+        # Symmetry: each (row, neighbour) pair must appear mirrored.
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        forward = set(zip(rows.tolist(), self.indices.tolist()))
+        for a, b in forward:
+            if a == b:
+                raise GraphError(f"self-loop at position {a}")
+            if (b, a) not in forward:
+                raise GraphError(f"asymmetric link {a}->{b}")

@@ -35,11 +35,25 @@ table history that no reconstruction can reproduce.)
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, Iterator, KeysView, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    KeysView,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from ..sim.rng import RngLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .arraygraph import ArrayOverlayGraph
 
 __all__ = ["OverlayGraph", "CsrView", "GraphError"]
 
@@ -205,7 +219,17 @@ class OverlayGraph:
         self._adj: Dict[int, Dict[int, None]] = {}
         self._next_id = 0
         self._csr: Optional[CsrView] = None
+        self._array: Optional["ArrayOverlayGraph"] = None
         self._edge_count = 0
+        # Incremental-twin bookkeeping: once a twin has been built
+        # (``_array_base``), mutations record which rows they touched so
+        # ``to_array`` can patch the base instead of re-encoding the whole
+        # adjacency.  All three stay empty until the first ``to_array``
+        # call, so graphs that never use the array backend pay nothing.
+        self._array_base: Optional["ArrayOverlayGraph"] = None
+        self._array_dirty: set = set()
+        self._array_removed: set = set()
+        self._array_appended: List[int] = []
         if nodes is not None:
             for u in nodes:
                 self.add_node(u)
@@ -226,6 +250,16 @@ class OverlayGraph:
     def num_edges(self) -> int:
         """Number of undirected edges."""
         return self._edge_count
+
+    @property
+    def next_id(self) -> int:
+        """The id the next auto-assigned node will receive.
+
+        Part of the behavioural state (see :meth:`snapshot`): two graphs
+        with equal adjacency but different ``next_id`` diverge on the next
+        ``add_node()``.
+        """
+        return self._next_id
 
     def __len__(self) -> int:
         return len(self._adj)
@@ -272,6 +306,43 @@ class OverlayGraph:
             return 0.0
         return 2.0 * self._edge_count / len(self._adj)
 
+    def degrees(self) -> np.ndarray:
+        """Bulk degree array in node *insertion* order.
+
+        One C-level pass over the adjacency — consumers that previously
+        looped ``[g.degree(u) for u in g.nodes()]`` re-walked the dict per
+        node.  Note :meth:`CsrView.degrees` returns the same values in
+        *sorted*-id order; this accessor is aligned with :meth:`nodes` and
+        with :class:`~repro.overlay.arraygraph.ArrayOverlayGraph` rows.
+        """
+        return np.fromiter(
+            (len(nbrs) for nbrs in self._adj.values()),
+            dtype=np.int64,
+            count=len(self._adj),
+        )
+
+    def neighbour_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk flat adjacency: ``(nodes, indptr, flat_neighbour_ids)``.
+
+        All three arrays are in insertion order — ``nodes`` lists alive
+        ids, and the neighbours of ``nodes[k]`` are
+        ``flat[indptr[k]:indptr[k+1]]`` as raw ids in per-node insertion
+        order.  This is the single-pass feed for
+        :meth:`to_array` and for any bulk consumer that would otherwise
+        issue one dict lookup per node.
+        """
+        n = len(self._adj)
+        nodes = np.fromiter(self._adj.keys(), dtype=np.int64, count=n)
+        degs = self.degrees()
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        flat = np.fromiter(
+            itertools.chain.from_iterable(self._adj.values()),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return nodes, indptr, flat
+
     def random_node(self, rng: RngLike = None) -> int:
         """A uniformly random alive node (uses the CSR snapshot)."""
         view = self.csr()
@@ -309,7 +380,9 @@ class OverlayGraph:
             raise GraphError(f"node {node} already present")
         self._adj[node] = {}
         self._next_id = max(self._next_id, node + 1)
-        self._csr = None
+        if self._array_base is not None:
+            self._array_appended.append(node)
+        self._invalidate()
         return node
 
     def add_nodes(self, count: int) -> List[int]:
@@ -330,7 +403,10 @@ class OverlayGraph:
         for v in nbrs:
             self._adj[v].pop(node, None)
         self._edge_count -= len(nbrs)
-        self._csr = None
+        if self._array_base is not None:
+            self._array_removed.add(node)
+            self._array_dirty.update(nbrs)
+        self._invalidate()
 
     def add_edge(self, u: int, v: int) -> None:
         """Create the undirected edge ``{u, v}``."""
@@ -343,7 +419,10 @@ class OverlayGraph:
         self._adj[u][v] = None
         self._adj[v][u] = None
         self._edge_count += 1
-        self._csr = None
+        if self._array_base is not None:
+            self._array_dirty.add(u)
+            self._array_dirty.add(v)
+        self._invalidate()
 
     def try_add_edge(self, u: int, v: int) -> bool:
         """Like :meth:`add_edge` but returns False instead of raising on
@@ -353,7 +432,10 @@ class OverlayGraph:
         self._adj[u][v] = None
         self._adj[v][u] = None
         self._edge_count += 1
-        self._csr = None
+        if self._array_base is not None:
+            self._array_dirty.add(u)
+            self._array_dirty.add(v)
+        self._invalidate()
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -363,11 +445,19 @@ class OverlayGraph:
         self._adj[u].pop(v, None)
         self._adj[v].pop(u, None)
         self._edge_count -= 1
-        self._csr = None
+        if self._array_base is not None:
+            self._array_dirty.add(u)
+            self._array_dirty.add(v)
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Drop cached flat-array views after a mutation."""
+        self._csr = None
+        self._array = None
 
     def csr(self) -> CsrView:
         """Return the current CSR snapshot, rebuilding it if stale.
@@ -378,6 +468,57 @@ class OverlayGraph:
         if self._csr is None:
             self._csr = self._build_csr()
         return self._csr
+
+    def to_array(self) -> "ArrayOverlayGraph":
+        """The insertion-ordered CSR twin of this graph (cached).
+
+        Unlike :meth:`csr` (sorted node ids), the
+        :class:`~repro.overlay.arraygraph.ArrayOverlayGraph` preserves node
+        and per-node neighbour *insertion* order, so
+        :meth:`from_array` round-trips to a behaviorally identical dict
+        graph and ``to_array().snapshot() == snapshot()`` exactly.  Like
+        the CSR view, the twin is immutable and rebuilt lazily after
+        mutations.
+
+        Rebuilds are *incremental* when possible: once a twin exists,
+        mutations record which rows they touched, and as long as fewer
+        than half of the base twin's rows changed the stale twin is
+        patched (only touched rows re-read the dict; everything else is
+        vectorized splicing) instead of re-encoding the whole adjacency.
+        Under churn this turns the per-step conversion from O(n + m)
+        Python iteration into O(changed) — the difference between the
+        array backend amortizing or losing its kernel win (see
+        ``docs/KERNELS.md`` and BENCH_KERNELS.json).
+        """
+        if self._array is None:
+            from .arraygraph import ArrayOverlayGraph
+
+            base = self._array_base
+            changed = (
+                len(self._array_dirty)
+                + len(self._array_removed)
+                + len(self._array_appended)
+            )
+            if base is not None and base.n and changed <= max(16, base.n // 2):
+                self._array = ArrayOverlayGraph.from_overlay_incremental(
+                    self,
+                    base,
+                    self._array_dirty,
+                    self._array_removed,
+                    self._array_appended,
+                )
+            else:
+                self._array = ArrayOverlayGraph.from_overlay(self)
+            self._array_base = self._array
+            self._array_dirty = set()
+            self._array_removed = set()
+            self._array_appended = []
+        return self._array
+
+    @classmethod
+    def from_array(cls, array: "ArrayOverlayGraph") -> "OverlayGraph":
+        """Rebuild a dict graph from its array twin (inverse of :meth:`to_array`)."""
+        return array.to_overlay()
 
     def _build_csr(self) -> CsrView:
         n = len(self._adj)

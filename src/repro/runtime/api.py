@@ -21,7 +21,7 @@ from .pool import TrialExecutor
 from .progress import NullProgress, ProgressReporter
 from .provenance import detect_git_revision, summarize_results
 from .store import ResultsStore, content_key, group_key
-from .trials import TrialResult, TrialSpec
+from .trials import TrialResult, TrialSpec, apply_graph_backend
 
 __all__ = [
     "RuntimeOptions",
@@ -73,6 +73,14 @@ class RuntimeOptions:
     #: Execution detail only: results and content addresses are identical
     #: either way, so this never invalidates a cache.
     snapshots: bool = True
+    #: Graph representation kernel-capable estimators run on: ``"dict"``
+    #: (the reference) or ``"array"`` (the batched kernels of
+    #: :mod:`repro.core.kernels`; the CLI's ``--graph-backend``).  Unlike
+    #: ``snapshots`` this is *not* execution detail: array-backend results
+    #: are distributionally — not bitwise — equivalent, so the backend is
+    #: injected into the estimator specs and perturbs the content address
+    #: (docs/KERNELS.md).
+    graph_backend: str = "dict"
 
     @classmethod
     def create(
@@ -85,6 +93,7 @@ class RuntimeOptions:
         tag: Optional[str] = None,
         revision: Optional[str] = None,
         snapshots: bool = True,
+        graph_backend: str = "dict",
     ) -> "RuntimeOptions":
         """Convenience constructor mapping CLI-level values to options."""
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
@@ -97,6 +106,7 @@ class RuntimeOptions:
             tag=tag,
             revision=revision,
             snapshots=snapshots,
+            graph_backend=graph_backend,
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
@@ -167,6 +177,11 @@ def run_trials(
     specs = list(specs)
     if not specs:
         return []
+    if runtime.graph_backend != "dict":
+        # Injected *before* hashing: the backend is part of the estimator
+        # spec, so array-backend batches cache under their own address and
+        # never shadow reference results.
+        specs = apply_graph_backend(specs, runtime.graph_backend)
 
     portable = all(spec.portable for spec in specs)
     config = batch_config(specs) if portable else None

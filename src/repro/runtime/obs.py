@@ -35,6 +35,11 @@ Phase taxonomy (:data:`PHASES`):
     Advancing the churn schedule / scenario between estimation points.
 ``estimation``
     Running an estimator (the paper's actual measurement).
+``kernel``
+    Vectorized kernel work inside an estimation on the array backend
+    (:mod:`repro.core.kernels`).  Recorded chunk-wide, *nested inside*
+    the trial-attributed ``estimation`` span — kernel seconds are a
+    subset of estimation seconds, not an additional cost.
 ``serialize``
     Capturing/encoding snapshot payloads for hand-off or the store.
 
@@ -67,7 +72,14 @@ __all__ = [
 JOURNAL_SCHEMA_VERSION = 1
 
 #: The closed set of phase names chunk runners may record.
-PHASES: Tuple[str, ...] = ("boot", "restore", "churn", "estimation", "serialize")
+PHASES: Tuple[str, ...] = (
+    "boot",
+    "restore",
+    "churn",
+    "estimation",
+    "kernel",
+    "serialize",
+)
 
 
 class PhaseAccumulator:

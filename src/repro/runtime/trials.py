@@ -34,6 +34,7 @@ import numpy as np
 
 from ..churn.models import ChurnEvent, ChurnTrace
 from ..churn.scheduler import ChurnScheduler
+from ..core import kernels as _kernels
 from ..core.aggregation import AggregationMonitor, AggregationProtocol
 from ..core.base import EstimatorError
 from ..core.hops_sampling import HopsSamplingEstimator
@@ -63,16 +64,22 @@ __all__ = [
     "RepairPolicySpec",
     "TrialResult",
     "TrialSpec",
+    "BACKEND_KINDS",
     "DELAY_PRICINGS",
     "ESTIMATOR_BUILDERS",
     "ESTIMATOR_RNG_BUILDERS",
     "ESTIMATOR_STREAMS",
     "OVERLAY_BUILDERS",
     "TRIAL_KINDS",
+    "apply_graph_backend",
     "run_chunk",
     "trace_from_payload",
     "trace_to_payload",
 ]
+
+# Kernel work inside estimators surfaces as the ``kernel`` phase of chunk
+# profiles; the hook keeps :mod:`repro.core.kernels` runtime-agnostic.
+_kernels.set_phase_recorder(phase)
 
 
 # ----------------------------------------------------------------------
@@ -221,16 +228,17 @@ class _AggregationEpoch:
 #: builders below and the ``fresh_probe`` trial kind (which must reproduce
 #: ``hub.fresh(name)`` lineages exactly) both construct through it.
 ESTIMATOR_RNG_BUILDERS: Dict[str, Callable[..., Any]] = {
-    "sample_collide": lambda graph, rng, l=200, timer=10.0: SampleCollideEstimator(
-        graph, l=l, timer=timer, rng=rng
+    "sample_collide": lambda graph, rng, l=200, timer=10.0, backend="dict": (
+        SampleCollideEstimator(graph, l=l, timer=timer, rng=rng, backend=backend)
     ),
-    "hops_sampling": lambda graph, rng, gossip_to=2, min_hops_reporting=5, oracle_distances=False: (
+    "hops_sampling": lambda graph, rng, gossip_to=2, min_hops_reporting=5, oracle_distances=False, backend="dict": (
         HopsSamplingEstimator(
             graph,
             gossip_to=gossip_to,
             min_hops_reporting=min_hops_reporting,
             oracle_distances=oracle_distances,
             rng=rng,
+            backend=backend,
         )
     ),
     "random_tour": lambda graph, rng: RandomTourEstimator(graph, rng=rng),
@@ -254,6 +262,12 @@ ESTIMATOR_STREAMS: Dict[str, str] = {
     "aggregation_epoch": "agg",
     "interval_density": "ids",
 }
+
+#: Estimator kinds that accept a ``backend`` parameter (the batched-kernel
+#: graph representations of :mod:`repro.core.kernels`).  Kinds outside the
+#: set — e.g. the inherently sequential random tour — always run on the
+#: dict reference and are left untouched by :func:`apply_graph_backend`.
+BACKEND_KINDS = frozenset({"sample_collide", "hops_sampling"})
 
 
 def _hub_builder(kind: str) -> Callable[..., Any]:
@@ -306,10 +320,32 @@ class EstimatorSpec:
         """Plain-dict form for content addressing."""
         return {"kind": self.kind, "params": dict(self.params)}
 
+    def with_backend(self, backend: str) -> "EstimatorSpec":
+        """Copy of this spec pinned to a graph ``backend``.
+
+        Only meaningful for kinds in :data:`BACKEND_KINDS`; other kinds
+        are returned unchanged.  ``"dict"`` *removes* the key — the
+        reference backend is the unrecorded default, so historical
+        artifacts (hashed before the parameter existed) stay addressable,
+        while ``"array"`` perturbs the content address on purpose: its
+        results are distributionally, not bitwise, equivalent.
+        """
+        if self.kind not in BACKEND_KINDS:
+            return self
+        params = {k: v for k, v in self.params.items() if k != "backend"}
+        if backend != "dict":
+            params["backend"] = backend
+        if params == self.params:
+            return self
+        return EstimatorSpec(self.kind, params)
+
     @classmethod
-    def sample_collide(cls, l: int = 200, timer: float = 10.0) -> "EstimatorSpec":
+    def sample_collide(
+        cls, l: int = 200, timer: float = 10.0, backend: str = "dict"
+    ) -> "EstimatorSpec":
         """The §III-A Sample&Collide estimator (sample size ``l``)."""
-        return cls("sample_collide", {"l": int(l), "timer": float(timer)})
+        spec = cls("sample_collide", {"l": int(l), "timer": float(timer)})
+        return spec.with_backend(backend)
 
     @classmethod
     def hops_sampling(
@@ -317,6 +353,7 @@ class EstimatorSpec:
         gossip_to: int = 2,
         min_hops_reporting: int = 5,
         oracle_distances: bool = False,
+        backend: str = "dict",
     ) -> "EstimatorSpec":
         """The §III-B HopsSampling estimator (gossip poll + hop histogram)."""
         params = {
@@ -327,7 +364,7 @@ class EstimatorSpec:
         # without the key) stay addressable.
         if oracle_distances:
             params["oracle_distances"] = True
-        return cls("hops_sampling", params)
+        return cls("hops_sampling", params).with_backend(backend)
 
     @classmethod
     def random_tour(cls) -> "EstimatorSpec":
@@ -434,6 +471,32 @@ def _jsonable(value: Any) -> bool:
     if isinstance(value, dict):
         return all(isinstance(k, str) and _jsonable(v) for k, v in value.items())
     return False
+
+
+def apply_graph_backend(
+    specs: Sequence["TrialSpec"], backend: str
+) -> List["TrialSpec"]:
+    """Pin every kernel-capable estimator spec in ``specs`` to ``backend``.
+
+    The funnel :func:`~repro.runtime.api.run_trials` applies to a batch
+    when :attr:`~repro.runtime.api.RuntimeOptions.graph_backend` is set:
+    estimator specs of :data:`BACKEND_KINDS` get the backend injected into
+    their params (see :meth:`EstimatorSpec.with_backend` for the
+    content-address rules), everything else passes through unchanged —
+    including live-object specs, which are not portable anyway.
+    """
+    if backend not in _kernels.GRAPH_BACKENDS:
+        raise ValueError(
+            f"unknown graph backend {backend!r}; have {_kernels.GRAPH_BACKENDS}"
+        )
+    out: List[TrialSpec] = []
+    for spec in specs:
+        if isinstance(spec.estimator, EstimatorSpec):
+            pinned = spec.estimator.with_backend(backend)
+            if pinned is not spec.estimator:
+                spec = replace(spec, estimator=pinned)
+        out.append(spec)
+    return out
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,15 @@ and the tests only read; mutating tests build their own graphs.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+
+# Make the shared statistical helpers (`import statcheck`) importable from
+# every test directory — subdirectories have no __init__.py, so pytest only
+# puts each test file's own directory on sys.path.
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.experiments.config import Scale
 from repro.overlay.builders import heterogeneous_random, scale_free

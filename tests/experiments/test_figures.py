@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+import statcheck
 
 from repro.experiments import FIGURES, TABLES
 from repro.analysis.curves import FigureResult, TableResult
@@ -57,7 +58,7 @@ class TestStaticFigureShapes:
         # land within a few percent of truth, not within rounding.
         fig = FIGURES["fig5"](scale=tiny_scale)
         for c in fig.curves:
-            assert c.final() == pytest.approx(100, abs=4)
+            statcheck.assert_within(c.final(), 100, abs_tol=4, label=c.label)
 
     def test_fig5_three_runs(self, tiny_scale):
         fig = FIGURES["fig5"](scale=tiny_scale)

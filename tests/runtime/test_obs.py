@@ -447,3 +447,54 @@ class TestSnapshotSaveError:
             for e in telemetry.events
             if e["event"] == "snapshot_boundary"
         )
+
+
+class TestKernelPhase:
+    """The ``kernel`` phase under the array graph backend (docs/KERNELS.md)."""
+
+    def _array_specs(self, count=6):
+        from repro.runtime.trials import apply_graph_backend
+
+        return apply_graph_backend(_static_specs(count), "array")
+
+    def test_kernel_in_phase_taxonomy(self):
+        assert "kernel" in PHASES
+
+    def test_kernel_phase_recorded_in_profile(self):
+        results = run_chunk(self._array_specs())
+        chunk = results[0].profile["chunk"]
+        assert chunk["phases"].get("kernel", 0.0) > 0.0
+        # Kernel time nests inside the trial-attributed estimation spans:
+        # it is a subset of estimation seconds, not an additional cost.
+        estimation = sum(
+            r.profile["phases"].get("estimation", 0.0) for r in results
+        )
+        assert chunk["phases"]["kernel"] <= estimation
+
+    def test_dict_backend_records_no_kernel_phase(self):
+        results = run_chunk(_static_specs(6))
+        chunk = results[0].profile["chunk"]
+        assert "kernel" not in chunk["phases"]
+
+    def test_phase_kernel_in_summary_metrics(self):
+        from repro.runtime.provenance import PHASE_METRICS, summarize_results
+
+        assert "phase_kernel" in PHASE_METRICS
+        metrics = summarize_results(run_chunk(self._array_specs()))
+        assert metrics["phase_kernel"]["mean"] > 0.0
+
+    def test_array_backend_journal_validates(self, tmp_path):
+        journal = tmp_path / "array.jsonl"
+        with JournalReporter(journal) as reporter:
+            run_trials(
+                self._array_specs(),
+                runtime=RuntimeOptions.create(workers=2, progress=reporter),
+            )
+        events = read_journal(journal)
+        assert validate_journal(events) == []
+        chunk_phases = [
+            e["phases"] for e in events if e["event"] == "chunk_done"
+        ]
+        assert any("kernel" in p for p in chunk_phases)
+        summary = render_obs_summary(events)
+        assert "kernel" in summary

@@ -1,0 +1,150 @@
+"""Shared statistical assertion helpers for the test-suite and benchmarks.
+
+The suite accumulated ad-hoc tolerance idioms — ``pytest.approx(100,
+abs=4)`` on figure convergence, hand-written ``a <= b + slack`` on
+ablation orderings — each encoding a statistical claim ("these runs are
+noisy samples of the same law") without naming it.  This module promotes
+them into explicit, reusable checks:
+
+* :func:`assert_distributions_close` — the two-sided claim two sample sets
+  follow the same distribution, tested with a two-sample
+  Kolmogorov-Smirnov gate *and* a bootstrap confidence-interval overlap of
+  the means.  This is the cross-validation gate of the array-kernel
+  backend (``tests/core/test_kernel_distributions.py``,
+  ``docs/KERNELS.md``), with tolerances recorded beside
+  ``baselines/trends_baseline.json``.
+* :func:`assert_within` — scalar-near-target with an explicit absolute
+  tolerance (figure convergence checks).
+* :func:`assert_le_with_slack` / :func:`assert_ge_with_slack` — one-sided
+  orderings with a noise allowance (ablation and scaling comparisons).
+
+Everything here is numpy-only (no scipy in the CI test matrix): the KS
+critical value uses the classic large-sample approximation
+``c(α)·sqrt((n+m)/(n·m))`` with ``c(α) = sqrt(-ln(α/2)/2)``, and the CI
+helper reuses :func:`repro.analysis.validation.bootstrap_mean_ci`.
+Bootstrap resampling is deterministically seeded so a failing check fails
+identically on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.validation import bootstrap_mean_ci
+
+__all__ = [
+    "assert_distributions_close",
+    "assert_ge_with_slack",
+    "assert_le_with_slack",
+    "assert_within",
+    "ks_critical_value",
+    "ks_statistic",
+]
+
+#: Fixed seed for bootstrap resampling inside assertions — checks must be
+#: reproducible, so the resampling noise is pinned.
+_BOOTSTRAP_SEED = 20060619
+
+
+def ks_statistic(samples_a: Sequence[float], samples_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``sup |F_a - F_b|``.
+
+    Vectorized over the pooled sorted values; ties are handled by
+    evaluating both empirical CDFs with ``searchsorted(..., side="right")``
+    at every pooled point.
+    """
+    a = np.sort(np.asarray(samples_a, dtype=float))
+    b = np.sort(np.asarray(samples_b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("KS statistic needs non-empty samples")
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_critical_value(n: int, m: int, alpha: float) -> float:
+    """Large-sample two-sample KS rejection threshold at level ``alpha``.
+
+    ``D > c(α)·sqrt((n+m)/(n·m))`` rejects equality, with
+    ``c(α) = sqrt(-ln(α/2)/2)`` (Smirnov's asymptotic inverse).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c * math.sqrt((n + m) / (n * m))
+
+
+def assert_distributions_close(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    *,
+    ks_alpha: float = 0.01,
+    ci_level: float = 0.95,
+    resamples: int = 2000,
+    label: str = "",
+) -> None:
+    """Assert two sample sets are plausibly draws of the same distribution.
+
+    Two independent gates, both of which must pass:
+
+    1. **KS gate** — the two-sample KS statistic stays below the
+       level-``ks_alpha`` critical value (small ``ks_alpha`` ⇒ wide gate:
+       only strong evidence of different laws fails).
+    2. **CI gate** — the level-``ci_level`` bootstrap confidence
+       intervals of the two means overlap (deterministically seeded
+       resampling).
+
+    ``label`` names the comparison in failure messages.
+    """
+    a = np.asarray(samples_a, dtype=float)
+    b = np.asarray(samples_b, dtype=float)
+    tag = f" [{label}]" if label else ""
+    stat = ks_statistic(a, b)
+    crit = ks_critical_value(a.size, b.size, ks_alpha)
+    assert stat <= crit, (
+        f"KS gate failed{tag}: D={stat:.4f} > critical {crit:.4f} "
+        f"(n={a.size}, m={b.size}, alpha={ks_alpha}); "
+        f"means {a.mean():.4g} vs {b.mean():.4g}"
+    )
+    rng = np.random.default_rng(_BOOTSTRAP_SEED)
+    ci_a = bootstrap_mean_ci(a, confidence=ci_level, resamples=resamples, rng=rng)
+    ci_b = bootstrap_mean_ci(b, confidence=ci_level, resamples=resamples, rng=rng)
+    assert ci_a.lower <= ci_b.upper and ci_b.lower <= ci_a.upper, (
+        f"bootstrap-CI gate failed{tag}: "
+        f"[{ci_a.lower:.4g}, {ci_a.upper:.4g}] vs "
+        f"[{ci_b.lower:.4g}, {ci_b.upper:.4g}] "
+        f"do not overlap at level {ci_level}"
+    )
+
+
+def assert_within(value: float, target: float, *, abs_tol: float, label: str = "") -> None:
+    """Assert ``value`` lies within ``abs_tol`` of ``target``."""
+    tag = f" [{label}]" if label else ""
+    assert abs(value - target) <= abs_tol, (
+        f"value gate failed{tag}: {value:.4g} is not within "
+        f"±{abs_tol:g} of {target:g}"
+    )
+
+
+def assert_le_with_slack(
+    value: float, bound: float, *, slack: float, label: str = ""
+) -> None:
+    """Assert the noisy ordering ``value <= bound + slack``."""
+    tag = f" [{label}]" if label else ""
+    assert value <= bound + slack, (
+        f"ordering gate failed{tag}: {value:.4g} > {bound:.4g} + slack {slack:g}"
+    )
+
+
+def assert_ge_with_slack(
+    value: float, bound: float, *, slack: float, label: str = ""
+) -> None:
+    """Assert the noisy ordering ``value >= bound - slack``."""
+    tag = f" [{label}]" if label else ""
+    assert value >= bound - slack, (
+        f"ordering gate failed{tag}: {value:.4g} < {bound:.4g} - slack {slack:g}"
+    )
