@@ -13,6 +13,11 @@ paper's dynamic evaluation quantifies.
 
 Run:
     python examples/churn_monitoring.py
+
+This walkthrough drives the simulation layer directly and stays serial;
+for sharded, cached, journaled runs of the paper's dynamic figures use
+``repro-experiment run`` with ``--workers``/``--hosts``/``--journal``
+(see examples/reproduce_paper.py and docs/DISTRIBUTED.md).
 """
 
 from __future__ import annotations

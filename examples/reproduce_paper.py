@@ -11,18 +11,26 @@ Run (≈30 s at the small scale, minutes at default):
 Shard each figure's trials over worker processes and cache results so a
 rerun only recomputes what changed:
     python examples/reproduce_paper.py --scale small --workers 4 --cache-dir .repro-cache
+
+Fan out to remote workers instead (``repro-experiment worker serve`` on
+each host, docs/DISTRIBUTED.md), and journal the run for
+``obs summary|trace|validate`` (docs/OBSERVABILITY.md):
+    python examples/reproduce_paper.py --hosts nodeA:7700,nodeB:7700 --journal run.jsonl
+
+Results are bit-identical for any ``--workers``/``--hosts`` setting.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import time
 
 from repro.analysis.ascii_chart import render_figure, render_table
 from repro.analysis.curves import FigureResult
 from repro.experiments import FIGURES, TABLES
-from repro.runtime import RuntimeOptions, supports_runtime
+from repro.runtime import JournalReporter, RuntimeOptions, supports_runtime
 
 
 def main() -> None:
@@ -33,12 +41,28 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=20060619)
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes per experiment (results identical)")
+    parser.add_argument("--hosts", default=None,
+                        help="comma-separated host:port worker list for cluster "
+                             "execution (docs/DISTRIBUTED.md); trusted networks only")
     parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
                         help="content-addressed results store for instant reruns")
+    parser.add_argument("--journal", type=pathlib.Path, default=None,
+                        help="append a JSONL run journal for obs summary/trace/"
+                             "validate (docs/OBSERVABILITY.md)")
     args = parser.parse_args()
 
     args.out.mkdir(parents=True, exist_ok=True)
-    runtime = RuntimeOptions.create(workers=args.workers, cache_dir=args.cache_dir)
+    with contextlib.ExitStack() as stack:
+        journal = (stack.enter_context(JournalReporter(args.journal))
+                   if args.journal else None)
+        runtime = RuntimeOptions.create(workers=args.workers,
+                                        cache_dir=args.cache_dir,
+                                        hosts=args.hosts, progress=journal)
+        run_catalog(args, runtime)
+
+
+def run_catalog(args: argparse.Namespace, runtime: RuntimeOptions) -> None:
+    """Regenerate every catalog entry through ``runtime``, CSVs into ``args.out``."""
     started = time.perf_counter()
 
     for name, fn in list(FIGURES.items()) + list(TABLES.items()):

@@ -49,6 +49,11 @@ EVENT_FIELDS: Dict[str, Sequence[str]] = {
     "snapshot_boundary": ("target", "seconds", "outcome"),
     "snapshot_save_error": ("error",),
     "batch_finish": ("done", "elapsed"),
+    # Cluster lifecycle (repro.runtime.cluster, docs/DISTRIBUTED.md).
+    "worker_connect": ("host", "pid"),
+    "worker_lost": ("host", "reason"),
+    "chunk_migrated": ("chunk", "from_host", "to_host"),
+    "steal": ("chunk", "from_host", "to_host"),
 }
 
 
@@ -221,6 +226,36 @@ def journal_to_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
             )
         elif kind == "snapshot_save_error":
             instant(event, "snapshot save error", error=event.get("error"))
+        elif kind == "worker_connect":
+            instant(
+                event,
+                f"worker connect {event.get('host')}",
+                host=event.get("host"),
+                worker_pid=event.get("pid"),
+            )
+        elif kind == "worker_lost":
+            instant(
+                event,
+                f"worker lost {event.get('host')}",
+                host=event.get("host"),
+                reason=event.get("reason"),
+            )
+        elif kind == "chunk_migrated":
+            instant(
+                event,
+                f"chunk {event.get('chunk')} migrated",
+                chunk=event.get("chunk"),
+                from_host=event.get("from_host"),
+                to_host=event.get("to_host"),
+            )
+        elif kind == "steal":
+            instant(
+                event,
+                f"chunk {event.get('chunk')} stolen",
+                chunk=event.get("chunk"),
+                from_host=event.get("from_host"),
+                to_host=event.get("to_host"),
+            )
         elif kind == "snapshot_boundary":
             seconds = float(event.get("seconds", 0.0))
             trace.append(
@@ -298,6 +333,8 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
     wall = 0.0
     boundary_counts: Dict[str, int] = {}
     workers: set = set()
+    cluster_hosts: set = set()
+    lost_hosts = migrations = steals = 0
     for event in events:
         kind = event.get("event")
         if kind in ("chunk_done", "trial"):
@@ -321,6 +358,14 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
         elif kind == "snapshot_boundary":
             outcome = str(event.get("outcome"))
             boundary_counts[outcome] = boundary_counts.get(outcome, 0) + 1
+        elif kind == "worker_connect":
+            cluster_hosts.add(event.get("host"))
+        elif kind == "worker_lost":
+            lost_hosts += 1
+        elif kind == "chunk_migrated":
+            migrations += 1
+        elif kind == "steal":
+            steals += 1
 
     lines: List[str] = []
     lines.append("run journal summary")
@@ -341,6 +386,15 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
             + ", ".join(f"{k}={v}" for k, v in sorted(boundary_counts.items()))
         )
     lines.append("  " + "   ".join(counter_bits))
+    if cluster_hosts or lost_hosts or migrations or steals:
+        cluster_bits = [f"cluster hosts: {len(cluster_hosts)}"]
+        if lost_hosts:
+            cluster_bits.append(f"workers lost: {lost_hosts}")
+        if migrations:
+            cluster_bits.append(f"chunks migrated: {migrations}")
+        if steals:
+            cluster_bits.append(f"steals: {steals}")
+        lines.append("  " + "   ".join(cluster_bits))
     lines.append("")
     header = f"  {'phase':<12} {'total':>10} {'share':>7} {'spans':>7} {'mean':>10}"
     lines.append(header)

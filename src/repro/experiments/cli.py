@@ -14,6 +14,7 @@ The CLI is organized in subcommands::
     repro-experiment obs summary <journal>    # phase-profile table
     repro-experiment obs trace <journal>      # Chrome trace-event export
     repro-experiment obs validate <journal>   # schema-check a journal
+    repro-experiment worker serve --bind H:P  # run a cluster worker
 
 Examples
 --------
@@ -55,6 +56,15 @@ trace in Perfetto / chrome://tracing — see docs/OBSERVABILITY.md)::
     repro-experiment obs summary run.jsonl
     repro-experiment obs trace run.jsonl -o trace.json
 
+Spread a run across machines: start a worker per host, then point a
+driver at them with ``--hosts`` (or ``$REPRO_HOSTS``).  Results are
+bit-identical to serial at any host count, and a dead host's chunks
+migrate to the survivors (see docs/DISTRIBUTED.md; the transport is
+trusted-network-only)::
+
+    repro-experiment worker serve --bind 0.0.0.0:7700          # on each host
+    repro-experiment run fig11 --hosts hostA:7700,hostB:7700 --journal run.jsonl
+
 ``repro-experiment fig1`` (the pre-subcommand form) still works: a bare
 target is rewritten to ``run <target>`` for backwards compatibility.
 """
@@ -90,6 +100,8 @@ from ..runtime import (
     ResultsStore,
     RuntimeOptions,
     TeeProgress,
+    WorkerServer,
+    parse_hosts,
     supports_runtime,
 )
 from ..runtime.trends import (
@@ -202,6 +214,18 @@ def _add_run_parser(subparsers) -> None:
         help=(
             "worker processes for trial execution (default: $REPRO_WORKERS or 1; "
             "results are bit-identical at any worker count)"
+        ),
+    )
+    run.add_argument(
+        "--hosts",
+        default=os.environ.get("REPRO_HOSTS") or None,
+        help=(
+            "comma-separated cluster worker addresses "
+            "('host1:port,host2:port'; default: $REPRO_HOSTS) started with "
+            "'worker serve'; trial chunks fan out over sockets instead of "
+            "a local process pool, with work-stealing and dead-host chunk "
+            "migration — results are bit-identical to serial at any host "
+            "count (see docs/DISTRIBUTED.md; trusted networks only)"
         ),
     )
     env_cache = os.environ.get("REPRO_CACHE_DIR") or None
@@ -523,6 +547,44 @@ def _add_obs_parser(subparsers) -> None:
     validate.add_argument("journal", type=pathlib.Path, help="journal JSONL file")
 
 
+def _add_worker_parser(subparsers) -> None:
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a cluster worker process (serve)",
+        description=(
+            "Cluster worker lifecycle.  A worker accepts driver "
+            "connections from 'run --hosts' and executes trial chunks "
+            "shipped over the socket transport (docs/DISTRIBUTED.md).  "
+            "The transport pickles payloads without authentication: bind "
+            "to loopback or a trusted network only."
+        ),
+    )
+    sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = sub.add_parser(
+        "serve",
+        help="serve trial chunks on a socket until interrupted",
+        description=(
+            "Bind HOST:PORT and serve chunks to any connecting driver.  "
+            "Port 0 binds a free port; the bound address is printed on "
+            "stdout either way, so harnesses can scrape it."
+        ),
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (default: 127.0.0.1:0 = free port)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help=(
+            "exit after this many driver sessions (default: serve until "
+            "interrupted); a driver opens one session per host per batch"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -539,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_parser(subparsers)
     _add_trends_parser(subparsers)
     _add_obs_parser(subparsers)
+    _add_worker_parser(subparsers)
     return parser
 
 
@@ -564,6 +627,7 @@ def _runtime_options(
         tag=tag,
         snapshots=not getattr(args, "no_snapshot", False),
         graph_backend=getattr(args, "graph_backend", "dict"),
+        hosts=getattr(args, "hosts", None),
     )
 
 
@@ -929,6 +993,31 @@ def _cmd_obs(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_worker(args, parser: argparse.ArgumentParser) -> int:
+    # --bind allows port 0 (ephemeral), which parse_hosts — meant for
+    # driver-side connect targets — rejects; validate separately.
+    host, sep, port = args.bind.rpartition(":")
+    if not sep or not host or not port.isdigit() or int(port) > 65535:
+        parser.error(
+            f"worker serve: invalid --bind {args.bind!r}: expected 'host:port' "
+            "(port 0 binds a free port)"
+        )
+    try:
+        server = WorkerServer(host, int(port), max_sessions=args.max_sessions)
+    except OSError as exc:
+        sys.stderr.write(f"worker serve: cannot bind {args.bind}: {exc}\n")
+        return 2
+    sys.stdout.write(f"worker listening on {server.address} (pid {os.getpid()})\n")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 #: Bare targets accepted for backwards compatibility with the
 #: pre-subcommand CLI (``repro-experiment fig1``).
 _LEGACY_TARGETS = frozenset(FIGURES) | frozenset(TABLES) | {"all"}
@@ -944,7 +1033,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # subcommand name ("--csv-dir cache") must not suppress the rewrite.
     if (
         argv
-        and argv[0] not in ("run", "list", "cache", "trends", "obs")
+        and argv[0] not in ("run", "list", "cache", "trends", "obs", "worker")
         and any(a in _LEGACY_TARGETS for a in argv)
     ):
         argv = ["run"] + argv
@@ -957,7 +1046,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             # --cache-dir went through _cache_dir; this re-check covers the
             # $REPRO_CACHE_DIR default, which bypasses argparse validation.
             _checked_dir(args.cache_dir, parser)
+        if args.hosts is not None:
+            # Surface a malformed --hosts / $REPRO_HOSTS as a usage error
+            # here instead of a traceback after the first batch builds.
+            try:
+                parse_hosts(args.hosts)
+            except ValueError as exc:
+                parser.error(str(exc))
         return _cmd_run(args)
+    if args.command == "worker":
+        return _cmd_worker(args, parser)
     if args.command == "trends":
         return _cmd_trends(args, parser)
     if args.command == "obs":

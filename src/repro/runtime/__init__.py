@@ -4,7 +4,9 @@ The paper's figures are all "run N independent estimations of algorithm X
 on overlay Y under churn Z" — embarrassingly parallel work.  This package
 turns one such experiment into a batch of picklable
 :class:`~repro.runtime.trials.TrialSpec` units, shards them across a
-process pool (:class:`~repro.runtime.pool.TrialExecutor`), and persists the
+process pool (:class:`~repro.runtime.pool.TrialExecutor`) or a cluster of
+remote worker hosts (:class:`~repro.runtime.cluster.ClusterExecutor`,
+``docs/DISTRIBUTED.md``), and persists the
 merged results in a content-addressed on-disk store
 (:class:`~repro.runtime.store.ResultsStore`) so repeated runs are cache
 hits.
@@ -30,13 +32,19 @@ from .api import (
     supports_runtime,
     sweep,
 )
+from .cluster import (
+    PROTOCOL_VERSION,
+    ClusterExecutor,
+    WorkerServer,
+    parse_hosts,
+)
 from .obs import (
     JOURNAL_SCHEMA_VERSION,
     PHASES,
     JournalReporter,
     PhaseAccumulator,
 )
-from .pool import TrialExecutor, chunk_specs
+from .pool import SnapshotBackbone, TrialExecutor, chunk_specs
 from .progress import (
     LogProgress,
     NullProgress,
@@ -100,6 +108,7 @@ from .trials import (
 __all__ = [
     "ArtifactInfo",
     "CheckReport",
+    "ClusterExecutor",
     "DELAY_PRICINGS",
     "EstimatorSpec",
     "GCReport",
@@ -116,6 +125,7 @@ __all__ = [
     "OverlaySpec",
     "PHASES",
     "PHASE_METRICS",
+    "PROTOCOL_VERSION",
     "PhaseAccumulator",
     "ProbeReplayState",
     "RepairPolicySpec",
@@ -126,6 +136,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SNAPSHOT_KINDS",
     "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotBackbone",
     "TeeProgress",
     "TelemetryCollector",
     "TrendRecord",
@@ -133,6 +144,7 @@ __all__ = [
     "TrialExecutor",
     "TrialResult",
     "TrialSpec",
+    "WorkerServer",
     "batch_config",
     "canonical_json",
     "check_baseline",
@@ -145,6 +157,7 @@ __all__ = [
     "load_baseline",
     "make_baseline",
     "metric_values",
+    "parse_hosts",
     "phase_metric_values",
     "run_chunk",
     "run_trials",

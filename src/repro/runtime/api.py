@@ -14,9 +14,20 @@ import os
 import pathlib
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..sim.metrics import EstimateSeries
+from .cluster import ClusterExecutor, parse_hosts
 from .pool import TrialExecutor
 from .progress import NullProgress, ProgressReporter
 from .provenance import detect_git_revision, summarize_results
@@ -81,6 +92,12 @@ class RuntimeOptions:
     #: injected into the estimator specs and perturbs the content address
     #: (docs/KERNELS.md).
     graph_backend: str = "dict"
+    #: Remote worker addresses (``host:port`` tuples; the CLI's ``--hosts``
+    #: / ``$REPRO_HOSTS``).  Non-empty selects the cluster executor of
+    #: :mod:`~repro.runtime.cluster` instead of the process pool; like
+    #: ``workers`` it is pure execution detail — results and content
+    #: addresses are bit-identical at any host count (docs/DISTRIBUTED.md).
+    hosts: Tuple[str, ...] = ()
 
     @classmethod
     def create(
@@ -94,8 +111,14 @@ class RuntimeOptions:
         revision: Optional[str] = None,
         snapshots: bool = True,
         graph_backend: str = "dict",
+        hosts: Union[None, str, Sequence[str]] = None,
     ) -> "RuntimeOptions":
-        """Convenience constructor mapping CLI-level values to options."""
+        """Convenience constructor mapping CLI-level values to options.
+
+        ``hosts`` accepts the CLI's CSV string (``"h1:p1,h2:p2"``) or a
+        sequence of ``host:port`` strings; anything non-empty routes the
+        batch through the cluster executor.
+        """
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
         return cls(
             workers=max(1, int(workers)),
@@ -107,6 +130,7 @@ class RuntimeOptions:
             revision=revision,
             snapshots=snapshots,
             graph_backend=graph_backend,
+            hosts=parse_hosts(hosts),
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
@@ -156,7 +180,8 @@ def run_trials(
     """Run a batch of trials with caching and parallel dispatch.
 
     Determinism contract: the returned results are bit-identical for any
-    ``workers``/``chunk_size``/``snapshots`` setting and for cache hits,
+    ``workers``/``hosts``/``chunk_size``/``snapshots`` setting and for
+    cache hits,
     because every trial's randomness derives from ``(hub_seed, index)``
     alone and chunked churn replay — snapshot hand-off or prefix replay —
     reproduces the exact serial scenario states (``docs/SNAPSHOTS.md``).
@@ -204,13 +229,22 @@ def run_trials(
             progress.on_cache_hit(len(cached))
             return cached
 
-    executor = TrialExecutor(
-        workers=workers,
-        chunk_size=chunk_size,
-        progress=progress,
-        snapshots=runtime.snapshots,
-        snapshot_store=store if runtime.snapshots else None,
-    )
+    if runtime.hosts:
+        executor: Any = ClusterExecutor(
+            runtime.hosts,
+            chunk_size=chunk_size,
+            progress=progress,
+            snapshots=runtime.snapshots,
+            snapshot_store=store if runtime.snapshots else None,
+        )
+    else:
+        executor = TrialExecutor(
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+            snapshots=runtime.snapshots,
+            snapshot_store=store if runtime.snapshots else None,
+        )
     started = time.perf_counter()
     results = executor.run(specs)
     elapsed = time.perf_counter() - started

@@ -1,0 +1,703 @@
+"""Multi-host cluster executor: chunks fan out to remote workers over sockets.
+
+The cluster backend is the third executor behind :func:`~repro.runtime.api
+.run_trials` (after the serial loop and the process pool of
+:mod:`~repro.runtime.pool`) and honours the exact same contract: results
+are **bit-identical** to serial execution at any host count, with
+unchanged content addresses, because every trial derives its randomness
+from ``(hub_seed, index)`` alone and the merge is sorted by
+``(index, stream)``.  Adding or removing hosts — even mid-batch, through
+failures — can never change what a batch computes, only where.
+
+Transport
+---------
+The wire format follows the lightweight self-describing RPC approach of
+the Mercury extreme-scale RPC design rather than a heavyweight framework:
+each message is one pickled dict behind an 8-byte big-endian length
+prefix (:func:`send_message` / :func:`recv_message`).  A worker is just
+``repro-experiment worker serve --bind HOST:PORT`` — it accepts a
+connection, answers a version handshake, and then runs
+:func:`~repro.runtime.trials.run_chunk` on every ``chunk`` message it
+receives, returning the pickled results.  Workers are stateless between
+chunks: everything a chunk needs (specs + optional boundary snapshot)
+travels in the message, which is what makes migration trivial.
+
+.. warning::
+   The transport pickles and unpickles arbitrary payloads and performs no
+   authentication: it is **trusted-network-only** (bind workers to
+   loopback or a private cluster fabric, never a public interface).  See
+   ``docs/DISTRIBUTED.md``.
+
+Scheduling
+----------
+The driver keeps the snapshot backbone (:class:`~repro.runtime.pool
+.SnapshotBackbone`) local: it resolves every chunk's predecessor-boundary
+snapshot up front and retains the payloads until the chunk completes, so
+a chunk can be re-shipped anywhere at any time.  Chunks are dealt
+round-robin into per-host queues; one driver thread per host drains its
+own queue and, when idle, **steals from the tail** of the longest live
+queue (``steal`` event).  A connection failure is retried with
+exponential backoff; once retries are exhausted the host is declared lost
+(``worker_lost``) and its queued + in-flight chunks **migrate** — each
+with its retained boundary snapshot — to the surviving hosts
+(``chunk_migrated``).  If every host dies, the remaining chunks re-run
+serially in the driver (``partial_fallback``), keeping completed chunks.
+All of these events flow through the normal
+:class:`~repro.runtime.progress.ProgressReporter` protocol, so journals,
+``obs summary|trace|validate`` and the telemetry used in tests cover
+distributed runs exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .pool import CHUNKS_PER_WORKER, SnapshotBackbone, chunk_specs
+from .progress import NullProgress, ProgressReporter
+from .snapshots import SNAPSHOT_KINDS
+from .trials import TrialResult, TrialSpec, run_chunk
+
+__all__ = [
+    "ClusterExecutor",
+    "PROTOCOL_VERSION",
+    "WorkerServer",
+    "parse_hosts",
+    "recv_message",
+    "send_message",
+]
+
+#: Version exchanged in the hello/welcome handshake; a mismatch fails the
+#: connection immediately rather than mis-deserializing mid-batch.
+PROTOCOL_VERSION = 1
+
+#: 8-byte big-endian unsigned length prefix framing every message.
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single framed message — far above any real chunk
+#: (specs + a ~1MB snapshot), low enough to reject garbage prefixes from
+#: a confused peer before attempting a giant allocation.
+MAX_MESSAGE_BYTES = 1 << 31
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Frame and send one message: 8-byte length prefix + pickled dict."""
+    payload = pickle.dumps(dict(message), protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = size
+    while remaining > 0:
+        part = sock.recv(min(remaining, 1 << 20))
+        if not part:
+            raise EOFError("peer closed the connection mid-message")
+        chunks.append(part)
+        remaining -= len(part)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one framed message; raises :class:`EOFError` on a clean close."""
+    header = sock.recv(_HEADER.size)
+    if not header:
+        raise EOFError("peer closed the connection")
+    if len(header) < _HEADER.size:
+        header += _recv_exact(sock, _HEADER.size - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise OSError(
+            f"framed message of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit (corrupt stream?)"
+        )
+    message = pickle.loads(_recv_exact(sock, length))
+    if not isinstance(message, dict):
+        raise OSError(f"expected a message dict, got {type(message).__name__}")
+    return message
+
+
+def parse_hosts(
+    value: Union[None, str, Sequence[str]]
+) -> Tuple[str, ...]:
+    """Normalize a host list (CSV string or sequence) to ``host:port`` tuples.
+
+    Accepts the CLI's ``--hosts host1:port,host2:port`` string, the
+    ``$REPRO_HOSTS`` environment value, or an already-split sequence.
+    ``None`` and the empty string mean "no cluster" and return ``()``.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        parts = [p.strip() for p in value.split(",")]
+    else:
+        parts = [str(p).strip() for p in value]
+    hosts = tuple(p for p in parts if p)
+    for host in hosts:
+        name, sep, port = host.rpartition(":")
+        if not sep or not name:
+            raise ValueError(
+                f"invalid host {host!r}: expected 'host:port' (e.g. "
+                "'127.0.0.1:7700')"
+            )
+        try:
+            number = int(port)
+        except ValueError:
+            raise ValueError(f"invalid port in host {host!r}") from None
+        if not 0 < number < 65536:
+            raise ValueError(f"port out of range in host {host!r}")
+    return hosts
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class WorkerServer:
+    """A cluster worker: accepts driver connections, runs chunks, replies.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address.  ``port=0`` binds a free ephemeral port; the bound
+        address is available as :attr:`address` (the loopback test harness
+        and CI both rely on this).
+    max_sessions:
+        Exit :meth:`serve_forever` after this many driver connections have
+        come and gone (``None`` = serve until :meth:`close`).  CI workers
+        use ``--max-sessions 1`` so the job tears down by itself.
+    crash_after:
+        Fault-injection knob for tests: after serving this many chunks,
+        abort the connection mid-protocol and stop accepting — simulating
+        a host dying mid-batch so migration paths can be exercised
+        deterministically.
+    delay:
+        Fault-injection knob: sleep this many seconds before each chunk,
+        turning the worker into a predictable straggler so work-stealing
+        can be exercised deterministically.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: Optional[int] = None,
+        crash_after: Optional[int] = None,
+        delay: float = 0.0,
+    ) -> None:
+        self.max_sessions = max_sessions
+        self.crash_after = crash_after
+        self.delay = delay
+        self._served_chunks = 0
+        self._closed = False
+        self._listener = socket.create_server((host, port))
+        self.port = self._listener.getsockname()[1]
+        self.address = f"{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting connections (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def serve_forever(self) -> None:
+        """Accept and serve driver sessions until closed (or session cap)."""
+        sessions = 0
+        while not self._closed:
+            if self.max_sessions is not None and sessions >= self.max_sessions:
+                break
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed (by close() or crash_after)
+                break
+            sessions += 1
+            try:
+                self._serve_session(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+        self.close()
+
+    def _serve_session(self, conn: socket.socket) -> None:
+        """One driver session: handshake, then a chunk/result loop."""
+        try:
+            hello = recv_message(conn)
+        except (EOFError, OSError, pickle.UnpicklingError):
+            return
+        if hello.get("type") != "hello" or hello.get("version") != PROTOCOL_VERSION:
+            send_message(
+                conn,
+                {
+                    "type": "error",
+                    "error": (
+                        f"protocol mismatch: worker speaks "
+                        f"{PROTOCOL_VERSION}, driver sent {hello!r}"
+                    ),
+                },
+            )
+            return
+        send_message(
+            conn,
+            {"type": "welcome", "version": PROTOCOL_VERSION, "pid": os.getpid()},
+        )
+        while True:
+            try:
+                message = recv_message(conn)
+            except (EOFError, OSError):
+                return
+            kind = message.get("type")
+            if kind == "bye":
+                return
+            if kind != "chunk":
+                send_message(
+                    conn, {"type": "error", "error": f"unexpected message {kind!r}"}
+                )
+                continue
+            if (
+                self.crash_after is not None
+                and self._served_chunks >= self.crash_after
+            ):
+                # Simulated host death: drop the connection mid-request and
+                # refuse future connections, so the driver's retries fail.
+                self.close()
+                conn.close()
+                return
+            if self.delay:
+                time.sleep(self.delay)
+            try:
+                results = run_chunk(message["specs"], message.get("snapshot"))
+            except Exception:  # noqa: BLE001 - remote traceback travels back
+                send_message(
+                    conn,
+                    {
+                        "type": "error",
+                        "chunk": message.get("chunk"),
+                        "error": traceback.format_exc(),
+                    },
+                )
+                continue
+            self._served_chunks += 1
+            send_message(
+                conn,
+                {"type": "result", "chunk": message.get("chunk"), "results": results},
+            )
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+
+class _WorkerSession:
+    """Driver-side handle on one connected worker (socket + handshake)."""
+
+    def __init__(self, sock: socket.socket, pid: int) -> None:
+        self.sock = sock
+        self.pid = pid
+
+    @classmethod
+    def connect(cls, host: str, timeout: float) -> "_WorkerSession":
+        """Dial ``host:port``, handshake, and return a ready session."""
+        name, _, port = host.rpartition(":")
+        sock = socket.create_connection((name, int(port)), timeout=timeout)
+        try:
+            sock.settimeout(None)
+            send_message(sock, {"type": "hello", "version": PROTOCOL_VERSION})
+            welcome = recv_message(sock)
+            if welcome.get("type") != "welcome":
+                raise OSError(
+                    f"worker {host} rejected the handshake: "
+                    f"{welcome.get('error', welcome)}"
+                )
+            if welcome.get("version") != PROTOCOL_VERSION:
+                raise OSError(
+                    f"worker {host} speaks protocol {welcome.get('version')}, "
+                    f"driver speaks {PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        return cls(sock, int(welcome.get("pid", -1)))
+
+    def request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one message and block for its reply."""
+        send_message(self.sock, message)
+        return recv_message(self.sock)
+
+    def close(self, polite: bool = False) -> None:
+        """Drop the connection (optionally after a ``bye``)."""
+        if polite:
+            try:
+                send_message(self.sock, {"type": "bye"})
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class _RunState:
+    """Shared scheduler state for one batch (guarded by ``cond``)."""
+
+    def __init__(
+        self, chunks: Sequence[Sequence[TrialSpec]], hosts: Sequence[str]
+    ) -> None:
+        self.cond = threading.Condition()
+        self.total_chunks = len(chunks)
+        self.total_trials = sum(len(chunk) for chunk in chunks)
+        self.queues: Dict[str, deque] = {host: deque() for host in hosts}
+        for i in range(len(chunks)):
+            self.queues[hosts[i % len(hosts)]].append(i)
+        self.live = set(hosts)
+        self.in_flight: Dict[str, int] = {}
+        self.completed: Dict[int, List[TrialResult]] = {}
+        self.announced: set = set()
+        self.done_trials = 0
+        self.error: Optional[Tuple[int, str]] = None
+
+
+class ClusterExecutor:
+    """Runs a batch of :class:`TrialSpec` across remote worker hosts.
+
+    Implements the same ``run(specs) -> [TrialResult]`` contract as
+    :class:`~repro.runtime.pool.TrialExecutor` — callers (and
+    :func:`~repro.runtime.api.run_trials`) cannot tell the two apart
+    except through progress events.  See the module docstring for the
+    scheduling and failure semantics.
+
+    Parameters
+    ----------
+    hosts:
+        Worker addresses (``host:port`` strings, CSV string accepted).
+    chunk_size:
+        Trials per dispatched chunk (default: batch split into
+        ``len(hosts) * CHUNKS_PER_WORKER`` chunks, mirroring the pool).
+    progress:
+        Optional :class:`ProgressReporter`; cluster events are reported
+        through the ``on_worker_connect`` / ``on_worker_lost`` /
+        ``on_chunk_migrated`` / ``on_steal`` hooks.
+    snapshots / snapshot_store:
+        Boundary-snapshot hand-off, exactly as on the pool executor.
+    retries:
+        Reconnection attempts per host before it is declared lost.
+    backoff:
+        Base of the exponential retry backoff (seconds): attempt *k*
+        sleeps ``backoff * 2**(k-1)``.
+    connect_timeout:
+        Socket connect/handshake timeout per attempt (seconds).
+    """
+
+    def __init__(
+        self,
+        hosts: Union[str, Sequence[str]],
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressReporter] = None,
+        snapshots: bool = True,
+        snapshot_store=None,
+        retries: int = 3,
+        backoff: float = 0.1,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.hosts = parse_hosts(hosts)
+        if not self.hosts:
+            raise ValueError("ClusterExecutor needs at least one host")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ValueError(f"duplicate hosts in {self.hosts!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.progress = progress if progress is not None else NullProgress()
+        self.snapshots = bool(snapshots)
+        self.snapshot_store = snapshot_store
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.connect_timeout = float(connect_timeout)
+
+    def _auto_chunk_size(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(total / (len(self.hosts) * CHUNKS_PER_WORKER)))
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+        """Execute the batch and return results in ``(index, stream)`` order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        started = time.perf_counter()
+        if not all(spec.portable for spec in specs):
+            # Live objects cannot travel over the wire; same downgrade as
+            # the pool, so cluster options are always safe to pass.
+            self.progress.on_fallback(
+                "batch holds live objects that cannot be shipped to cluster workers"
+            )
+            self.progress.on_start(len(specs), 1)
+            self.progress.on_chunk_start(0, len(specs))
+            results = run_chunk(specs)
+            self.progress.on_chunk_done(0, results)
+            results.sort(key=lambda r: (r.index, r.stream))
+            self.progress.on_finish(len(results), time.perf_counter() - started)
+            return results
+
+        self.progress.on_start(len(specs), len(self.hosts))
+        chunks = chunk_specs(specs, self._auto_chunk_size(len(specs)))
+        boundaries, payloads = self._boundary_payloads(chunks)
+        state = _RunState(chunks, self.hosts)
+        threads = [
+            threading.Thread(
+                target=self._serve_host,
+                args=(state, host, chunks, boundaries, payloads),
+                name=f"cluster-{host}",
+                daemon=True,
+            )
+            for host in self.hosts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if state.error is not None:
+            chunk_id, remote_error = state.error
+            raise RuntimeError(
+                f"chunk {chunk_id} failed on a cluster worker:\n{remote_error}"
+            )
+
+        leftover = [
+            i for i in range(len(chunks)) if i not in state.completed
+        ]
+        if leftover:
+            # Every host died: finish in-driver, keeping completed chunks —
+            # the cluster analogue of the pool's mid-batch partial fallback.
+            remaining = sum(len(chunks[i]) for i in leftover)
+            self.progress.on_partial_fallback(
+                state.done_trials,
+                len(specs),
+                f"all {len(self.hosts)} cluster worker(s) lost; "
+                f"re-running {remaining} of {len(specs)} trials locally",
+            )
+            for chunk_id in leftover:
+                if chunk_id not in state.announced:
+                    self.progress.on_chunk_start(
+                        chunk_id, len(chunks[chunk_id]), boundary=boundaries[chunk_id]
+                    )
+                part = run_chunk(chunks[chunk_id], payloads.get(chunk_id))
+                state.completed[chunk_id] = part
+                state.done_trials += len(part)
+                self.progress.on_chunk_done(chunk_id, part)
+                self.progress.on_progress(state.done_trials, len(specs))
+
+        results = [r for i in sorted(state.completed) for r in state.completed[i]]
+        results.sort(key=lambda r: (r.index, r.stream))
+        self.progress.on_finish(len(results), time.perf_counter() - started)
+        return results
+
+    def _boundary_payloads(
+        self, chunks: Sequence[Sequence[TrialSpec]]
+    ) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[Mapping[str, Any]]]]:
+        """Resolve every chunk's hand-off snapshot before dispatch begins.
+
+        Unlike the pool — where a boundary payload is consumed by exactly
+        one submission — the cluster retains all payloads for the whole
+        batch, because any chunk may need re-shipping to a different host
+        after a failure.  The backbone advance is the same single
+        O(horizon) pass either way.
+        """
+        boundaries: Dict[int, Optional[int]] = {i: None for i in range(len(chunks))}
+        payloads: Dict[int, Optional[Mapping[str, Any]]] = {
+            i: None for i in range(len(chunks))
+        }
+        pipelined = (
+            self.snapshots
+            and len(chunks) > 1
+            and chunks[0][0].kind in SNAPSHOT_KINDS
+        )
+        if not pipelined:
+            return boundaries, payloads
+        backbone = SnapshotBackbone(chunks[0][0], self.snapshot_store, self.progress)
+        for i, chunk in enumerate(chunks):
+            target = min(spec.index for spec in chunk) - 1
+            boundaries[i] = target
+            payloads[i] = backbone.payload_at(target)
+        return boundaries, payloads
+
+    # -- per-host driver thread --------------------------------------------
+
+    def _serve_host(
+        self,
+        state: _RunState,
+        host: str,
+        chunks: Sequence[Sequence[TrialSpec]],
+        boundaries: Mapping[int, Optional[int]],
+        payloads: Mapping[int, Optional[Mapping[str, Any]]],
+    ) -> None:
+        session: Optional[_WorkerSession] = None
+        failures = 0
+        try:
+            while True:
+                chunk_id = self._claim(state, host, chunks, boundaries)
+                if chunk_id is None:
+                    return
+                try:
+                    if session is None:
+                        session = _WorkerSession.connect(host, self.connect_timeout)
+                        with state.cond:
+                            self.progress.on_worker_connect(host, session.pid)
+                    reply = session.request(
+                        {
+                            "type": "chunk",
+                            "chunk": chunk_id,
+                            "specs": list(chunks[chunk_id]),
+                            "snapshot": payloads.get(chunk_id),
+                        }
+                    )
+                except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
+                    if session is not None:
+                        session.close()
+                        session = None
+                    failures += 1
+                    if failures <= self.retries:
+                        self._requeue(state, host, chunk_id)
+                        time.sleep(self.backoff * (2 ** (failures - 1)))
+                        continue
+                    self._host_lost(state, host, exc, chunk_id)
+                    return
+                failures = 0
+                if reply.get("type") == "result":
+                    self._record(state, host, chunk_id, reply.get("results") or [])
+                else:
+                    # A worker-side exception is deterministic — the chunk
+                    # would fail anywhere — so it aborts the batch instead
+                    # of migrating.
+                    with state.cond:
+                        if state.error is None:
+                            state.error = (
+                                chunk_id,
+                                str(reply.get("error", reply)),
+                            )
+                        state.in_flight.pop(host, None)
+                        state.cond.notify_all()
+                    return
+        finally:
+            if session is not None:
+                session.close(polite=True)
+
+    def _claim(
+        self,
+        state: _RunState,
+        host: str,
+        chunks: Sequence[Sequence[TrialSpec]],
+        boundaries: Mapping[int, Optional[int]],
+    ) -> Optional[int]:
+        """Pop this host's next chunk, stealing from a busy peer when idle.
+
+        Blocks while other live hosts still have queued or in-flight work
+        that could migrate here; returns ``None`` when the batch is done,
+        aborted, or no future work can possibly reach this host.
+        """
+        with state.cond:
+            while True:
+                if state.error is not None or host not in state.live:
+                    return None
+                queue = state.queues[host]
+                stolen_from = None
+                if not queue:
+                    victims = [
+                        h
+                        for h in state.live
+                        if h != host and state.queues[h]
+                    ]
+                    if victims:
+                        victim = max(victims, key=lambda h: len(state.queues[h]))
+                        queue.append(state.queues[victim].pop())
+                        stolen_from = victim
+                if queue:
+                    chunk_id = queue.popleft()
+                    state.in_flight[host] = chunk_id
+                    if stolen_from is not None:
+                        self.progress.on_steal(chunk_id, stolen_from, host)
+                    if chunk_id not in state.announced:
+                        state.announced.add(chunk_id)
+                        self.progress.on_chunk_start(
+                            chunk_id,
+                            len(chunks[chunk_id]),
+                            boundary=boundaries[chunk_id],
+                        )
+                    return chunk_id
+                if len(state.completed) == state.total_chunks:
+                    return None
+                pending_elsewhere = any(
+                    h != host and (h in state.in_flight or state.queues[h])
+                    for h in state.live
+                )
+                if not pending_elsewhere:
+                    return None
+                state.cond.wait(timeout=0.05)
+
+    def _requeue(self, state: _RunState, host: str, chunk_id: int) -> None:
+        """Put a failed dispatch back at the head of this host's queue.
+
+        Done *before* the backoff sleep so an idle peer can steal the
+        chunk while this host reconnects.
+        """
+        with state.cond:
+            state.in_flight.pop(host, None)
+            state.queues[host].appendleft(chunk_id)
+            state.cond.notify_all()
+
+    def _host_lost(
+        self, state: _RunState, host: str, exc: Exception, chunk_id: int
+    ) -> None:
+        """Declare a host dead and migrate its work to the survivors."""
+        with state.cond:
+            state.live.discard(host)
+            state.in_flight.pop(host, None)
+            orphans = [chunk_id] + list(state.queues[host])
+            state.queues[host].clear()
+            self.progress.on_worker_lost(host, str(exc))
+            survivors = sorted(state.live)
+            if survivors:
+                for i, orphan in enumerate(orphans):
+                    target = survivors[i % len(survivors)]
+                    state.queues[target].append(orphan)
+                    self.progress.on_chunk_migrated(orphan, host, target)
+            state.cond.notify_all()
+
+    def _record(
+        self, state: _RunState, host: str, chunk_id: int, results: List[TrialResult]
+    ) -> None:
+        """Record a completed chunk exactly once and wake waiting peers."""
+        with state.cond:
+            state.in_flight.pop(host, None)
+            if chunk_id not in state.completed:
+                state.completed[chunk_id] = results
+                state.done_trials += len(results)
+                self.progress.on_chunk_done(chunk_id, results)
+                self.progress.on_progress(state.done_trials, state.total_trials)
+            state.cond.notify_all()

@@ -15,7 +15,9 @@ telemetry path (the progress/diagnostics split of the Mercury RPC runtime):
 * **Driver side** — a :class:`JournalReporter`, a
   :class:`~repro.runtime.progress.ProgressReporter` that serialises every
   callback (batch → chunk → trial, snapshot-boundary resolutions, store
-  hits, fallbacks) to one JSON object per line.  The journal is append-only
+  hits, fallbacks, and the cluster lifecycle of
+  :mod:`~repro.runtime.cluster` — worker connects/losses, chunk
+  migrations, steals) to one JSON object per line.  The journal is append-only
   JSONL so a crashed run still leaves a readable prefix, and every line
   carries a wall-clock timestamp so events from different worker processes
   can be aligned on one timeline (worker ``perf_counter`` origins differ
@@ -310,3 +312,21 @@ class JournalReporter(ProgressReporter):
     def on_snapshot_save_error(self, error: str) -> None:
         """Journal a failed best-effort snapshot save."""
         self._emit("snapshot_save_error", error=error)
+
+    # -- cluster events (repro.runtime.cluster) ----------------------------
+
+    def on_worker_connect(self, host: str, pid: int) -> None:
+        """Journal a completed cluster-worker handshake."""
+        self._emit("worker_connect", host=host, pid=pid)
+
+    def on_worker_lost(self, host: str, reason: str) -> None:
+        """Journal a cluster worker declared dead after exhausted retries."""
+        self._emit("worker_lost", host=host, reason=reason)
+
+    def on_chunk_migrated(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Journal a chunk migrating off a dead host with its snapshot."""
+        self._emit("chunk_migrated", chunk=chunk, from_host=from_host, to_host=to_host)
+
+    def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Journal an idle host stealing a queued chunk from a busy peer."""
+        self._emit("steal", chunk=chunk, from_host=from_host, to_host=to_host)

@@ -42,7 +42,7 @@ from .progress import NullProgress, ProgressReporter
 from .snapshots import SNAPSHOT_KINDS, snapshot_config
 from .trials import TrialResult, TrialSpec, run_chunk
 
-__all__ = ["TrialExecutor", "chunk_specs"]
+__all__ = ["SnapshotBackbone", "TrialExecutor", "chunk_specs"]
 
 #: Target chunks per worker: enough slack for load balancing (chunks are
 #: not equal cost) without drowning in warm-up overhead.
@@ -65,9 +65,12 @@ def chunk_specs(
     ]
 
 
-class _SnapshotBackbone:
+class SnapshotBackbone:
     """Driver-side churn-only replay feeding boundary snapshots to chunks.
 
+    Shared by the process-pool executor here and the cluster executor in
+    :mod:`~repro.runtime.cluster` — any dispatcher that chunks a
+    churn-replay batch drives one of these for its hand-off payloads.
     One instance serves one pipelined batch: it advances a single replay
     state through the chunk boundaries in order (O(horizon) total work)
     and captures a pure-data snapshot at each.  When a store is attached,
@@ -276,7 +279,7 @@ class TrialExecutor:
         replaying the churn prefix, so estimation overlaps with the
         backbone's cheap churn-only advance.
         """
-        backbone = _SnapshotBackbone(chunks[0][0], self.snapshot_store, self.progress)
+        backbone = SnapshotBackbone(chunks[0][0], self.snapshot_store, self.progress)
         futures = []
         for i, chunk in enumerate(chunks):
             target = min(spec.index for spec in chunk) - 1

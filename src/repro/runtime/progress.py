@@ -99,6 +99,28 @@ class ProgressReporter:
         """
         self.on_fallback(reason)
 
+    # -- cluster extensions (repro.runtime.cluster; all optional) -----------
+
+    def on_worker_connect(self, host: str, pid: int) -> None:
+        """The driver completed a handshake with cluster worker ``host``.
+
+        ``pid`` is the worker's process id, reported by the handshake so
+        journals and traces can attribute remote chunk profiles.
+        """
+
+    def on_worker_lost(self, host: str, reason: str) -> None:
+        """Cluster worker ``host`` was declared dead after exhausting retries."""
+
+    def on_chunk_migrated(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Chunk ``chunk`` of a lost host was reassigned to a survivor.
+
+        The chunk re-ships with its retained boundary snapshot, so the
+        migration never changes results — only placement.
+        """
+
+    def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
+        """An idle host stole queued chunk ``chunk`` from a busy peer's tail."""
+
 
 class NullProgress(ProgressReporter):
     """The do-nothing default."""
@@ -148,6 +170,18 @@ class LogProgress(ProgressReporter):
             f"pool failed after {done}/{total} trials; "
             f"re-running the remaining {total - done} serially: {reason}"
         )
+
+    def on_worker_connect(self, host: str, pid: int) -> None:
+        """Log a completed cluster-worker handshake."""
+        self._emit(f"connected to worker {host} (pid {pid})")
+
+    def on_worker_lost(self, host: str, reason: str) -> None:
+        """Log a cluster worker declared dead after exhausted retries."""
+        self._emit(f"lost worker {host}: {reason}")
+
+    def on_chunk_migrated(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Log a chunk migrating off a dead host."""
+        self._emit(f"chunk {chunk} migrated {from_host} -> {to_host}")
 
 
 class TelemetryCollector(ProgressReporter):
@@ -204,6 +238,22 @@ class TelemetryCollector(ProgressReporter):
     def on_partial_fallback(self, done: int, total: int, reason: str) -> None:
         """Record a mid-batch partial fallback."""
         self._record("partial_fallback", done=done, total=total, reason=reason)
+
+    def on_worker_connect(self, host: str, pid: int) -> None:
+        """Record a cluster-worker handshake."""
+        self._record("worker_connect", host=host, pid=pid)
+
+    def on_worker_lost(self, host: str, reason: str) -> None:
+        """Record a cluster worker declared dead."""
+        self._record("worker_lost", host=host, reason=reason)
+
+    def on_chunk_migrated(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Record a chunk migration off a dead host."""
+        self._record("chunk_migrated", chunk=chunk, from_host=from_host, to_host=to_host)
+
+    def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Record a work-steal between hosts."""
+        self._record("steal", chunk=chunk, from_host=from_host, to_host=to_host)
 
     def count(self, kind: str) -> int:
         """Number of recorded events of ``kind``."""
@@ -270,3 +320,23 @@ class TeeProgress(ProgressReporter):
         """Forward to every reporter (no on_fallback double-delegation)."""
         for r in self.reporters:
             r.on_partial_fallback(done, total, reason)
+
+    def on_worker_connect(self, host: str, pid: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_worker_connect(host, pid)
+
+    def on_worker_lost(self, host: str, reason: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_worker_lost(host, reason)
+
+    def on_chunk_migrated(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_chunk_migrated(chunk, from_host, to_host)
+
+    def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_steal(chunk, from_host, to_host)

@@ -1,0 +1,445 @@
+"""Cluster executor: loopback determinism, failure migration, protocol.
+
+The harness spawns real :class:`WorkerServer` instances on loopback
+sockets inside threads — the full wire protocol runs, only the "hosts"
+share one process.  Fault-injection knobs on the server (``crash_after``,
+``delay``) make worker loss and work-stealing deterministic to test.
+
+The acceptance bar mirrors the pool's: results **bit-identical** to
+serial at any host count, with unchanged content addresses — including
+runs where a host dies mid-batch and its chunks migrate.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.analysis.obs_report import (
+    journal_to_trace,
+    read_journal,
+    render_obs_summary,
+    validate_journal,
+)
+from repro.churn.models import shrinking_trace
+from repro.overlay.builders import heterogeneous_random
+from repro.runtime import (
+    ClusterExecutor,
+    EstimatorSpec,
+    JournalReporter,
+    OverlaySpec,
+    ResultsStore,
+    RuntimeOptions,
+    TelemetryCollector,
+    TrialSpec,
+    WorkerServer,
+    parse_hosts,
+    run_chunk,
+    run_trials,
+    trace_to_payload,
+)
+from repro.runtime.cluster import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
+from repro.sim.rng import RngHub
+
+
+def assert_results_equal(a, b):
+    """Bit-identity of two result lists (NaN == NaN, unlike dict equality)."""
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert json.dumps(ra.as_dict(), sort_keys=True) == json.dumps(
+            rb.as_dict(), sort_keys=True
+        )
+
+
+@contextlib.contextmanager
+def cluster(count, **server_kwargs):
+    """Spawn ``count`` loopback workers on threads; yields their addresses.
+
+    ``server_kwargs`` may be a single dict applied to every worker or a
+    per-worker list under the key ``each`` (e.g. ``each=[{"crash_after":
+    1}, {}, {}]`` to kill only the first).
+    """
+    each = server_kwargs.pop("each", None)
+    kwargs = each if each is not None else [dict(server_kwargs)] * count
+    servers = [WorkerServer(**kw) for kw in kwargs]
+    threads = [
+        threading.Thread(target=s.serve_forever, daemon=True) for s in servers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield [s.address for s in servers]
+    finally:
+        for server in servers:
+            server.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+
+N, COUNT = 300, 15
+
+
+def _static_specs(count=40, seed=7):
+    overlay = OverlaySpec.heterogeneous(N)
+    return [
+        TrialSpec(
+            "static_probe",
+            seed,
+            i,
+            overlay=overlay,
+            estimator=EstimatorSpec.sample_collide(l=10),
+        )
+        for i in range(1, count + 1)
+    ]
+
+
+def _replay_specs(seed=17):
+    overlay = OverlaySpec.heterogeneous(N)
+    params = {
+        "trace": trace_to_payload(
+            shrinking_trace(N, 0.5, start=1.0, end=float(COUNT), steps=COUNT - 1)
+        ),
+        "time_per_estimation": 1.0,
+        "max_degree": 10,
+    }
+    return [
+        TrialSpec(
+            "multi_probe",
+            seed,
+            i,
+            overlay=overlay,
+            estimator=EstimatorSpec.hops_sampling(),
+            params=params,
+            stream=k,
+        )
+        for i in range(1, COUNT + 1)
+        for k in range(2)
+    ]
+
+
+# ----------------------------------------------------------------------
+# wire protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"type": "chunk", "chunk": 3, "specs": [1, 2], "snapshot": None}
+            send_message(a, payload)
+            assert recv_message(b) == payload
+        finally:
+            a.close(), b.close()
+
+    def test_clean_close_raises_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">Q", MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(OSError):
+                recv_message(b)
+        finally:
+            a.close(), b.close()
+
+    def test_non_dict_message_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            blob = pickle.dumps([1, 2, 3])
+            a.sendall(struct.pack(">Q", len(blob)) + blob)
+            with pytest.raises(OSError):
+                recv_message(b)
+        finally:
+            a.close(), b.close()
+
+    def test_handshake_version_mismatch_is_fatal(self):
+        with cluster(1) as hosts:
+            name, _, port = hosts[0].rpartition(":")
+            sock = socket.create_connection((name, int(port)), timeout=5.0)
+            try:
+                send_message(
+                    sock, {"type": "hello", "version": PROTOCOL_VERSION + 1}
+                )
+                reply = recv_message(sock)
+                assert reply["type"] == "error"
+                assert "protocol" in reply["error"]
+            finally:
+                sock.close()
+
+
+class TestParseHosts:
+    def test_csv_string(self):
+        assert parse_hosts("a:1, b:2 ,") == ("a:1", "b:2")
+
+    def test_sequence(self):
+        assert parse_hosts(["a:1", "b:2"]) == ("a:1", "b:2")
+
+    def test_none_and_empty(self):
+        assert parse_hosts(None) == ()
+        assert parse_hosts("") == ()
+        assert parse_hosts([]) == ()
+
+    @pytest.mark.parametrize("bad", ["nohost", "a:", ":1", "a:notaport", "a:0", "a:70000"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_hosts(bad)
+
+
+# ----------------------------------------------------------------------
+# determinism: serial == cluster at any host count
+# ----------------------------------------------------------------------
+
+
+class TestClusterDeterminism:
+    def test_static_probe_two_hosts_matches_serial(self):
+        specs = _static_specs()
+        serial = run_chunk(list(specs))
+        with cluster(2) as hosts:
+            results = ClusterExecutor(hosts).run(list(specs))
+        assert_results_equal(serial, results)
+
+    @pytest.mark.parametrize("host_count", [2, 3])
+    def test_replay_kind_matches_serial(self, host_count):
+        specs = _replay_specs()
+        serial = run_trials(specs, runtime=RuntimeOptions(workers=1))
+        with cluster(host_count) as hosts:
+            results = ClusterExecutor(hosts, chunk_size=3).run(list(specs))
+        assert_results_equal(serial, results)
+
+    def test_snapshots_off_matches_serial(self):
+        specs = _replay_specs()
+        serial = run_trials(specs, runtime=RuntimeOptions(workers=1))
+        with cluster(2) as hosts:
+            results = ClusterExecutor(hosts, chunk_size=3, snapshots=False).run(
+                list(specs)
+            )
+        assert_results_equal(serial, results)
+
+    def test_content_addresses_match_process_pool(self, tmp_path):
+        """Cluster and pool runs of one batch land at the same store key."""
+        specs = _replay_specs()
+        store_pool = ResultsStore(tmp_path / "pool")
+        store_cluster = ResultsStore(tmp_path / "cluster")
+        pool_results = run_trials(
+            specs, runtime=RuntimeOptions(workers=4, chunk_size=3, store=store_pool)
+        )
+        with cluster(2) as hosts:
+            cluster_results = run_trials(
+                specs,
+                runtime=RuntimeOptions(
+                    hosts=parse_hosts(hosts), chunk_size=3, store=store_cluster
+                ),
+            )
+        assert_results_equal(pool_results, cluster_results)
+        keys_pool = {
+            i.key for i in store_pool.artifacts() if i.payload == "results"
+        }
+        keys_cluster = {
+            i.key for i in store_cluster.artifacts() if i.payload == "results"
+        }
+        assert keys_pool == keys_cluster
+
+    def test_run_trials_routes_hosts_to_cluster(self):
+        """RuntimeOptions.create accepts the CLI's CSV host string."""
+        specs = _static_specs(count=12)
+        serial = run_chunk(list(specs))
+        telemetry = TelemetryCollector()
+        with cluster(2) as hosts:
+            runtime = RuntimeOptions.create(
+                hosts=",".join(hosts), progress=telemetry
+            )
+            results = run_trials(specs, runtime=runtime)
+        assert_results_equal(serial, results)
+        assert telemetry.count("worker_connect") >= 1
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+
+
+class TestWorkerLoss:
+    def test_crash_mid_batch_migrates_and_matches_serial(self):
+        """Kill one of three workers mid-batch: bit-identical results,
+        exactly-once chunk accounting, and the full event trail."""
+        specs = _replay_specs()
+        serial = run_trials(specs, runtime=RuntimeOptions(workers=1))
+        telemetry = TelemetryCollector()
+        with cluster(3, each=[{"crash_after": 1}, {}, {}]) as hosts:
+            executor = ClusterExecutor(
+                hosts, chunk_size=3, progress=telemetry, retries=1, backoff=0.01
+            )
+            results = executor.run(list(specs))
+        assert_results_equal(serial, results)
+        assert telemetry.count("worker_lost") == 1
+        assert telemetry.count("chunk_migrated") >= 1
+        # Exactly-once: every chunk announced once, completed once, and
+        # the completed trial counts cover the batch exactly.
+        starts = [e["chunk"] for e in telemetry.events if e["event"] == "chunk_start"]
+        dones = [e["chunk"] for e in telemetry.events if e["event"] == "chunk_done"]
+        assert sorted(starts) == sorted(set(starts))
+        assert sorted(dones) == sorted(set(dones))
+        assert sorted(starts) == sorted(dones)
+        done_trials = sum(
+            e["trials"] for e in telemetry.events if e["event"] == "chunk_done"
+        )
+        assert done_trials == len(specs)
+
+    def test_all_hosts_dead_falls_back_serially(self):
+        """Unreachable hosts: the driver finishes the batch itself."""
+        # Bind-then-close gives ports that refuse connections immediately.
+        doomed = [WorkerServer() for _ in range(2)]
+        hosts = [s.address for s in doomed]
+        for server in doomed:
+            server.close()
+        specs = _static_specs(count=12)
+        serial = run_chunk(list(specs))
+        telemetry = TelemetryCollector()
+        executor = ClusterExecutor(
+            hosts, chunk_size=3, progress=telemetry, retries=0, backoff=0.01
+        )
+        results = executor.run(list(specs))
+        assert_results_equal(serial, results)
+        assert telemetry.count("worker_lost") == 2
+        assert telemetry.count("partial_fallback") == 1
+        assert telemetry.count("finish") == 1
+
+    def test_worker_side_exception_aborts_the_batch(self):
+        """A deterministic chunk error must raise, not migrate forever."""
+        specs = [TrialSpec("no_such_kind", 7, i) for i in range(1, 5)]
+        with cluster(2) as hosts:
+            executor = ClusterExecutor(hosts, chunk_size=2, retries=0)
+            with pytest.raises(RuntimeError, match="no_such_kind"):
+                executor.run(list(specs))
+
+    def test_requires_hosts(self):
+        with pytest.raises(ValueError):
+            ClusterExecutor([])
+        with pytest.raises(ValueError):
+            ClusterExecutor(["a:1", "a:1"])
+
+
+class TestScheduling:
+    def test_idle_host_steals_from_straggler(self):
+        """A delayed worker loses tail chunks to the fast one — results
+        unchanged, ``steal`` events reported."""
+        specs = _static_specs(count=40)
+        serial = run_chunk(list(specs))
+        telemetry = TelemetryCollector()
+        with cluster(2, each=[{"delay": 0.3}, {}]) as hosts:
+            executor = ClusterExecutor(hosts, chunk_size=4, progress=telemetry)
+            results = executor.run(list(specs))
+        assert_results_equal(serial, results)
+        assert telemetry.count("steal") >= 1
+
+    def test_non_portable_batch_runs_serially(self):
+        """Live graphs can't cross sockets: explicit fallback, same results."""
+        graph = heterogeneous_random(80, rng=RngHub(3).stream("overlay"))
+        specs = [
+            TrialSpec(
+                "static_probe",
+                3,
+                i,
+                overlay=graph,
+                estimator=EstimatorSpec.sample_collide(l=10),
+            )
+            for i in range(1, 6)
+        ]
+        serial = run_chunk(
+            [
+                TrialSpec(
+                    "static_probe",
+                    3,
+                    i,
+                    overlay=graph.copy(),
+                    estimator=EstimatorSpec.sample_collide(l=10),
+                )
+                for i in range(1, 6)
+            ]
+        )
+        telemetry = TelemetryCollector()
+        # Hosts never contacted: no servers are running behind them.
+        executor = ClusterExecutor(["127.0.0.1:1", "127.0.0.1:2"], progress=telemetry)
+        results = executor.run(specs)
+        assert_results_equal(serial, results)
+        assert telemetry.count("fallback") == 1
+        assert telemetry.count("worker_connect") == 0
+
+    def test_empty_batch(self):
+        assert ClusterExecutor(["127.0.0.1:1"]).run([]) == []
+
+
+# ----------------------------------------------------------------------
+# journal integration
+# ----------------------------------------------------------------------
+
+
+class TestClusterJournal:
+    def test_distributed_run_journal_validates(self, tmp_path):
+        """A real distributed run with an injected crash produces a journal
+        `obs validate` accepts, including the cluster event types."""
+        journal_path = tmp_path / "cluster.jsonl"
+        specs = _replay_specs()
+        with JournalReporter(journal_path) as journal:
+            with cluster(3, each=[{"crash_after": 1}, {}, {}]) as hosts:
+                # retries=0 so the crashed host is declared lost on first
+                # failure — with backoff, healthy peers can steal all of
+                # its work before retries exhaust and the loss never fires.
+                executor = ClusterExecutor(
+                    hosts, chunk_size=3, progress=journal, retries=0
+                )
+                executor.run(list(specs))
+        events = read_journal(journal_path)
+        assert validate_journal(events) == []
+        kinds = {e["event"] for e in events}
+        assert "worker_connect" in kinds
+        assert "worker_lost" in kinds
+        assert "chunk_migrated" in kinds
+
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+class TestGoldenClusterJournal:
+    """The committed distributed-run journal stays valid and renderable."""
+
+    def test_golden_journal_validates(self):
+        events = read_journal(DATA / "golden_cluster_journal.jsonl")
+        assert validate_journal(events) == []
+
+    def test_golden_journal_summary_counts_cluster_events(self):
+        events = read_journal(DATA / "golden_cluster_journal.jsonl")
+        summary = render_obs_summary(events)
+        assert "cluster hosts: 3" in summary
+        assert "workers lost: 1" in summary
+        assert "chunks migrated: 1" in summary
+        assert "steals: 1" in summary
+
+    def test_golden_journal_trace_has_cluster_instants(self):
+        events = read_journal(DATA / "golden_cluster_journal.jsonl")
+        trace = journal_to_trace(events)
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "worker connect 10.0.0.1:7700" in names
+        assert "worker lost 10.0.0.2:7700" in names
+        assert "chunk 1 migrated" in names
+        assert "chunk 1 stolen" in names

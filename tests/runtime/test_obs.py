@@ -38,7 +38,7 @@ from repro.runtime import (
     run_trials,
 )
 from repro.runtime.obs import PhaseAccumulator, chunk_profiler, phase
-from repro.runtime.pool import _SnapshotBackbone
+from repro.runtime.pool import SnapshotBackbone
 from repro.runtime.progress import ProgressReporter, TelemetryCollector
 from repro.runtime.trials import EstimatorSpec, OverlaySpec, TrialSpec, run_chunk
 from repro.runtime.api import RuntimeOptions
@@ -419,7 +419,7 @@ class TestSnapshotSaveError:
 
     def test_save_error_reported_once(self):
         telemetry = TelemetryCollector()
-        backbone = _SnapshotBackbone(self._spec(), _ReadOnlyStore(), telemetry)
+        backbone = SnapshotBackbone(self._spec(), _ReadOnlyStore(), telemetry)
         assert backbone.payload_at(0) is not None
         assert backbone.payload_at(2) is not None
         assert telemetry.count("snapshot_save_error") == 1
@@ -432,7 +432,7 @@ class TestSnapshotSaveError:
 
     def test_boundary_outcomes_reported(self):
         telemetry = TelemetryCollector()
-        backbone = _SnapshotBackbone(self._spec(), None, telemetry)
+        backbone = SnapshotBackbone(self._spec(), None, telemetry)
         assert backbone.payload_at(-1) is None
         assert backbone.payload_at(1) is not None
         assert backbone.payload_at(0) is None  # non-monotone: backbone is past it
