@@ -1,73 +1,87 @@
 #!/usr/bin/env python
-"""Continuous size monitoring of a churning overlay (the §IV-D scenario).
+"""Continuous size monitoring through the always-on estimation service.
 
-Simulates a flash crowd followed by a mass departure while two monitors
-track the overlay size:
+The §IV-D scenario — a flash crowd followed by a mass departure — but
+instead of driving the simulation layer directly, this walkthrough runs
+the scenario the way an operator would: boot ``repro.service``, talk to
+it purely through its HTTP surface (``docs/SERVICE.md``), and let it keep
+two estimator families warm:
 
-* a Sample&Collide probe fired every 5 rounds (memoryless, reacts fast);
-* an Aggregation monitor with periodic 40-round restart epochs (exact in
-  steady state, staircase-lagged under churn).
+* a Sample&Collide probe refreshed every 5 rounds (memoryless, reacts
+  fast);
+* an Aggregation monitor with 40-round restart epochs (exact in steady
+  state, staircase-lagged under churn).
 
-Prints a timeline comparing both against the true size — the trade-off the
-paper's dynamic evaluation quantifies.
+The client streams membership events with ``POST /ingest``, advances the
+resident scenario with ``POST /tick``, and polls ``GET /estimate`` — the
+same round-trips ``repro-experiment serve`` exposes to real monitoring
+clients.  Prints a timeline comparing both families against the true
+size, the trade-off the paper's dynamic evaluation quantifies.
 
 Run:
     python examples/churn_monitoring.py
 
-This walkthrough drives the simulation layer directly and stays serial;
-for sharded, cached, journaled runs of the paper's dynamic figures use
-``repro-experiment run`` with ``--workers``/``--hosts``/``--journal``
-(see examples/reproduce_paper.py and docs/DISTRIBUTED.md).
+For the paper's dynamic figures at scale use ``repro-experiment run``
+(see examples/reproduce_paper.py); for a standalone resident service use
+``repro-experiment serve`` (docs/SERVICE.md).
 """
 
 from __future__ import annotations
 
-from repro import (
-    ChurnScheduler,
-    ChurnTrace,
-    ChurnEvent,
-    RoundDriver,
-    SampleCollideEstimator,
-    heterogeneous_random,
+from repro.service import (
+    EstimationService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
 )
-from repro.core.aggregation import AggregationMonitor
-from repro.sim.rng import RngHub
 
 N0 = 8_000
 HORIZON = 300
+PROBE_EVERY = 5
 
 
 def main() -> None:
-    hub = RngHub(7)
-    graph = heterogeneous_random(N0, rng=hub.stream("overlay"))
-
-    # Flash crowd at round 60 (+50%), mass failure at round 180 (-40%).
-    trace = ChurnTrace([
-        ChurnEvent(time=60, joins=N0 // 2),
-        ChurnEvent(time=180, frac_leaves=0.4),
-    ])
-
-    driver = RoundDriver()
-    ChurnScheduler(graph, trace, rng=hub.stream("churn")).attach(driver)
-
-    agg_monitor = AggregationMonitor(graph, restart_interval=40,
-                                     rng=hub.stream("agg"))
-    agg_monitor.attach(driver)
+    # Operator side: one resident service, two warm families.  In
+    # production this is `repro-experiment serve`; embedding it keeps the
+    # example a single process while the client still goes over HTTP.
+    config = ServiceConfig(
+        seed=7,
+        initial_size=N0,
+        estimators=("sample_collide", "aggregation"),
+        probe_interval=PROBE_EVERY,
+        sc_l=100,
+        agg_restart_interval=40,
+    )
+    server = ServiceServer(EstimationService(config))
 
     timeline = []
+    with server:
+        client = ServiceClient(server.address)
+        health = client.health()
+        print(
+            f"Monitoring a {health['size']:,}-node overlay for {HORIZON} rounds "
+            "(+50% at round 60, -40% at round 180) ...\n"
+        )
 
-    def probe(rnd: int) -> None:
-        if rnd % 5 != 0:
-            return
-        sc = SampleCollideEstimator(graph, l=100, rng=hub.fresh("sc"))
-        sc_est = sc.estimate().value
-        agg_est = agg_monitor.series[-1] if agg_monitor.series else float("nan")
-        timeline.append((rnd, graph.size, sc_est, agg_est))
-
-    driver.subscribe(probe, priority=30)
-    print(f"Monitoring a {N0:,}-node overlay for {HORIZON} rounds "
-          "(+50% at round 60, -40% at round 180) ...\n")
-    driver.run(HORIZON)
+        for rnd in range(1, HORIZON + 1):
+            # Membership events stream in as they happen; the service
+            # folds them into the live ChurnScheduler at the next tick.
+            if rnd == 60:
+                client.ingest([{"joins": N0 // 2}])
+            elif rnd == 180:
+                client.ingest([{"frac_leaves": 0.4}])
+            client.tick()
+            if rnd % PROBE_EVERY == 0:
+                reply = client.estimate()
+                est = reply["estimates"]
+                timeline.append(
+                    (
+                        rnd,
+                        client.health()["size"],
+                        est["sample_collide"]["value"],
+                        est["aggregation"]["value"],
+                    )
+                )
 
     print(f"{'round':>6} {'true size':>10} {'S&C probe':>11} {'Aggregation':>12}")
     for rnd, true, sc_v, agg_v in timeline:
@@ -76,7 +90,7 @@ def main() -> None:
             marker = "  <- flash crowd"
         elif rnd == 180:
             marker = "  <- mass failure"
-        agg_s = f"{agg_v:>12,.0f}" if agg_v == agg_v else f"{'-':>12}"
+        agg_s = f"{agg_v:>12,.0f}" if agg_v is not None else f"{'-':>12}"
         print(f"{rnd:>6} {true:>10,} {sc_v:>11,.0f} {agg_s}{marker}")
 
     print()

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Benchmark of the always-on estimation service (``repro.service``).
+
+Produces ``BENCH_SERVICE.json`` (committed at the repo root), the
+operational evidence behind ``docs/SERVICE.md``:
+
+* **serve throughput** — admitted ``/estimate`` reads per second, both
+  in-process (the service core without transport) and over the HTTP
+  endpoint, while a background ticker keeps the scenario advancing under
+  sustained synthetic churn;
+* **staleness** — the round-distance between the served estimate and the
+  current round, sampled once per round for each warm family (probe
+  families refresh every ``probe_interval`` rounds, so their staleness
+  saw-tooths between 0 and ``probe_interval - 1``; the aggregation
+  staircase lags up to one restart epoch);
+* **admission control** — with ``max_qps`` set, the measured admitted
+  rate must settle onto the configured rate (the token-bucket gate);
+* **checkpoint cost** — bytes and seconds of one snapshot write at the
+  benchmark overlay size.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py
+        [--nodes 2000] [--rounds 120] [--seconds 3.0]
+        [--out BENCH_SERVICE.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import (  # noqa: E402
+    EstimationService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+
+#: Synthetic churn per round: this many joins and leaves, size-neutral.
+CHURN_PER_ROUND = 10
+
+
+def build_service(nodes: int, max_qps: float = 0.0) -> EstimationService:
+    """One benchmark service: both probe families plus aggregation."""
+    return EstimationService(
+        ServiceConfig(
+            seed=11,
+            initial_size=nodes,
+            estimators=("sample_collide", "aggregation"),
+            probe_interval=5,
+            sc_l=20,
+            agg_restart_interval=20,
+            max_qps=max_qps,
+        )
+    )
+
+
+def bench_staleness(service: EstimationService, rounds: int) -> dict:
+    """Advance ``rounds`` rounds of steady churn; sample staleness each round."""
+    staleness = {name: [] for name in service.config.estimators}
+    churn = [{"joins": CHURN_PER_ROUND}, {"leaves": CHURN_PER_ROUND}]
+    for _ in range(rounds):
+        service.ingest(churn)
+        service.tick()
+        for name, entry in service.read_estimates().items():
+            if entry["staleness"] is not None:
+                staleness[name].append(entry["staleness"])
+    out = {}
+    for name, values in staleness.items():
+        out[name] = {
+            "samples": len(values),
+            "mean_rounds": round(statistics.mean(values), 2) if values else None,
+            "max_rounds": max(values) if values else None,
+        }
+    return out
+
+
+def bench_throughput(service: EstimationService, seconds: float) -> dict:
+    """Estimates/second, in-process and over HTTP, under a live ticker.
+
+    The ticker thread keeps ingesting churn and advancing rounds while
+    the measurement loops hammer the read path — the sustained-load shape
+    the service is built for (reads never block on scenario advancement
+    beyond the internal lock).
+    """
+    stop = threading.Event()
+
+    def ticker() -> None:
+        churn = [{"joins": CHURN_PER_ROUND}, {"leaves": CHURN_PER_ROUND}]
+        while not stop.is_set():
+            service.ingest(churn)
+            service.tick()
+            stop.wait(0.01)
+
+    thread = threading.Thread(target=ticker, daemon=True)
+    thread.start()
+    try:
+        # In-process: the service core without any transport.
+        served = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < seconds:
+            ok, _ = service.serve_estimate()
+            served += 1 if ok else 0
+        inproc = served / (time.perf_counter() - t0)
+
+        # Over HTTP: one client, sequential round-trips on loopback.
+        with ServiceServer(service) as server:
+            client = ServiceClient(server.address)
+            served = 0
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < seconds:
+                client.estimate()
+                served += 1
+            http = served / (time.perf_counter() - t0)
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    return {
+        "inprocess_estimates_per_second": round(inproc, 1),
+        "http_estimates_per_second": round(http, 1),
+        "rounds_advanced": int(service.round),
+    }
+
+
+def bench_throttle(nodes: int, max_qps: float, seconds: float) -> dict:
+    """Measured admitted rate under a token-bucket limit (expect ≈ max_qps)."""
+    service = build_service(nodes, max_qps=max_qps)
+    admitted = 0
+    attempts = 0
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        ok, _ = service.serve_estimate()
+        admitted += 1 if ok else 0
+        attempts += 1
+    elapsed = time.perf_counter() - t0
+    return {
+        "configured_qps": max_qps,
+        "attempts": attempts,
+        "admitted": admitted,
+        "admitted_per_second": round(admitted / elapsed, 1),
+    }
+
+
+def bench_checkpoint(service: EstimationService) -> dict:
+    """Cost of one checkpoint write at the benchmark overlay size."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "svc.json"
+        t0 = time.perf_counter()
+        service.checkpoint(str(path))
+        seconds = time.perf_counter() - t0
+        size = path.stat().st_size
+        t0 = time.perf_counter()
+        EstimationService.from_checkpoint(str(path))
+        restore_seconds = time.perf_counter() - t0
+    return {
+        "bytes": size,
+        "write_seconds": round(seconds, 4),
+        "restore_seconds": round(restore_seconds, 4),
+    }
+
+
+def main(argv=None) -> int:
+    """Run every section and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2_000)
+    parser.add_argument("--rounds", type=int, default=120)
+    parser.add_argument("--seconds", type=float, default=3.0)
+    parser.add_argument("--max-qps", type=float, default=200.0)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_SERVICE.json"
+    )
+    args = parser.parse_args(argv)
+
+    service = build_service(args.nodes)
+    print(
+        f"staleness: {args.rounds} rounds of ±{CHURN_PER_ROUND}/round churn "
+        f"on {args.nodes} nodes ...",
+        flush=True,
+    )
+    staleness = bench_staleness(service, args.rounds)
+    print(f"  {staleness}", flush=True)
+
+    print(f"throughput: {args.seconds:.1f}s per transport under a live ticker ...", flush=True)
+    throughput = bench_throughput(service, args.seconds)
+    print(f"  {throughput}", flush=True)
+
+    print(f"throttle: max_qps={args.max_qps} for {args.seconds:.1f}s ...", flush=True)
+    throttle = bench_throttle(args.nodes, args.max_qps, args.seconds)
+    print(f"  {throttle}", flush=True)
+
+    checkpoint = bench_checkpoint(service)
+    print(f"checkpoint: {checkpoint}", flush=True)
+
+    report = {
+        "generated_by": "scripts/bench_service.py",
+        "nodes": args.nodes,
+        "churn_per_round": CHURN_PER_ROUND,
+        "staleness": staleness,
+        "throughput": throughput,
+        "throttle": throttle,
+        "checkpoint": checkpoint,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ inline markdown links (``[text](target)``) and verifies that:
 * every ``#anchor`` — pure (``#section``) or suffixed onto a markdown
   target (``SNAPSHOTS.md#invariants``) — matches a heading slug in the
   addressed document (GitHub's slug rules: lowercase, punctuation
-  stripped, spaces to hyphens).
+  stripped, spaces to hyphens);
+* every ``docs/*.md`` file is linked from the ``docs/README.md`` index,
+  so no guide can land unreachable from the reading-order table.
 
 ``http(s)``/``mailto`` links are skipped — CI must not depend on network
 reachability.  Used by the CI docs job; importable from tests.
@@ -111,6 +113,27 @@ def default_docs(root: pathlib.Path) -> List[pathlib.Path]:
     return [d for d in docs if d.exists()]
 
 
+def check_docs_index(root: pathlib.Path) -> List[str]:
+    """Every ``docs/*.md`` must be linked from the ``docs/README.md`` index.
+
+    Keeps the reading-order table complete: a guide nobody can reach from
+    the index is effectively unpublished.  The index itself is exempt.
+    """
+    index = root / "docs" / "README.md"
+    if not index.exists():
+        return [f"{index}: missing docs index"]
+    linked = {
+        pathlib.PurePosixPath(target.partition("#")[0]).name
+        for target in iter_links(index.read_text(encoding="utf-8"))
+        if not target.startswith(_EXTERNAL) and not target.startswith("#")
+    }
+    return [
+        f"{doc}: not listed in {index}"
+        for doc in sorted((root / "docs").glob("*.md"))
+        if doc.name != "README.md" and doc.name not in linked
+    ]
+
+
 def main(argv: List[str]) -> int:
     """CLI entry point: check every default doc under the given root."""
     root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path.cwd()
@@ -119,6 +142,7 @@ def main(argv: List[str]) -> int:
         print(f"no markdown docs found under {root}", file=sys.stderr)
         return 1
     problems = [p for path in paths for p in check_file(path)]
+    problems.extend(check_docs_index(root))
     for problem in problems:
         print(problem, file=sys.stderr)
     print(f"checked {len(paths)} file(s): {len(problems)} broken link(s)")

@@ -54,6 +54,11 @@ EVENT_FIELDS: Dict[str, Sequence[str]] = {
     "worker_lost": ("host", "reason"),
     "chunk_migrated": ("chunk", "from_host", "to_host"),
     "steal": ("chunk", "from_host", "to_host"),
+    # Service lifecycle (repro.service, docs/SERVICE.md).
+    "service_start": ("families", "size", "seed", "round"),
+    "estimate_served": ("families", "round", "staleness"),
+    "ingest_dropped": ("dropped", "queued"),
+    "snapshot_checkpoint": ("round", "path", "bytes", "seconds"),
 }
 
 

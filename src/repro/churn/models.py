@@ -110,6 +110,31 @@ class ChurnTrace:
         """Rewind consumption to the beginning."""
         self._cursor = 0
 
+    def extend(self, events: Iterable[ChurnEvent]) -> int:
+        """Append live events to the tail of the trace; returns the count.
+
+        This is the streaming entry point used by the always-on estimation
+        service (``repro.service``, ``docs/SERVICE.md``): a resident
+        scheduler's trace grows as membership events arrive instead of
+        being fixed at construction.  Every appended event must be due at
+        or after the trace's current :attr:`horizon` — the sorted-order
+        invariant every consumer (and the snapshot cursor contract) relies
+        on — and must not predate already-consumed events.
+        """
+        added = sorted(events, key=lambda e: e.time)
+        if not added:
+            return 0
+        floor = self.horizon
+        if self._cursor:
+            floor = max(floor, self._events[self._cursor - 1].time)
+        if added[0].time < floor:
+            raise ValueError(
+                f"cannot extend trace into the past: event at t={added[0].time} "
+                f"predates the trace horizon t={floor}"
+            )
+        self._events.extend(added)
+        return len(added)
+
     @property
     def cursor(self) -> int:
         """Number of events already consumed via :meth:`due`.

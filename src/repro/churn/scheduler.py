@@ -17,7 +17,7 @@ ways, because the paper's dynamic figures use two different x-axes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from ..overlay.graph import OverlayGraph
 from ..overlay.membership import MembershipPolicy
@@ -97,6 +97,23 @@ class ChurnScheduler:
                 )
             )
         return total_joins, total_leaves
+
+    def feed(self, events: Iterable[Any]) -> int:
+        """Stream live events into the trace tail (service ingest path).
+
+        Each item is a :class:`~repro.churn.models.ChurnEvent` or a mapping
+        of its constructor fields.  Events must be due at or after the
+        trace horizon (see :meth:`ChurnTrace.extend`); they are applied by
+        the next :meth:`advance_to` call that reaches their time.  This is
+        how the always-on estimation service (``repro.service``) keeps one
+        scheduler resident instead of rebuilding per batch.
+        """
+        from .models import ChurnEvent
+
+        return self.trace.extend(
+            ev if isinstance(ev, ChurnEvent) else ChurnEvent(**dict(ev))
+            for ev in events
+        )
 
     def attach(self, driver: RoundDriver) -> None:
         """Subscribe to a round driver so churn fires automatically.

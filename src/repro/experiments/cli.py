@@ -15,6 +15,7 @@ The CLI is organized in subcommands::
     repro-experiment obs trace <journal>      # Chrome trace-event export
     repro-experiment obs validate <journal>   # schema-check a journal
     repro-experiment worker serve --bind H:P  # run a cluster worker
+    repro-experiment serve --bind H:P         # run the estimation service
 
 Examples
 --------
@@ -65,6 +66,15 @@ trusted-network-only)::
     repro-experiment worker serve --bind 0.0.0.0:7700          # on each host
     repro-experiment run fig11 --hosts hostA:7700,hostB:7700 --journal run.jsonl
 
+Keep the estimators warm as a resident service: stream membership events
+at it, poll ``/estimate``, and restart from its last checkpoint (see
+docs/SERVICE.md).  Both ``serve`` and ``worker serve`` print their bound
+address in a machine-parsable ``REPRO_*_ADDR=host:port`` stdout line, so
+harnesses binding port 0 can scrape the chosen port::
+
+    repro-experiment serve --bind 127.0.0.1:0 --estimators sample_collide,aggregation \
+        --snapshot svc.json --snapshot-every 50 --max-qps 100 --journal svc.jsonl
+
 ``repro-experiment fig1`` (the pre-subcommand form) still works: a bare
 target is rewritten to ``run <target>`` for backwards compatibility.
 """
@@ -112,6 +122,12 @@ from ..runtime.trends import (
     load_baseline,
     make_baseline,
     trend_report,
+)
+from ..service import (
+    SERVICE_FAMILIES,
+    EstimationService,
+    ServiceConfig,
+    ServiceServer,
 )
 from . import FIGURES, TABLES
 from .config import SCALES
@@ -585,6 +601,108 @@ def _add_worker_parser(subparsers) -> None:
     )
 
 
+def _add_serve_parser(subparsers) -> None:
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on estimation service (HTTP/JSON)",
+        description=(
+            "Boot a resident estimation scenario and serve /estimate, "
+            "/health and /stats over HTTP, with POST /ingest, /tick and "
+            "/checkpoint as the write surface (docs/SERVICE.md).  Port 0 "
+            "binds a free port; the bound address is printed on stdout in "
+            "a machine-parsable REPRO_SERVICE_ADDR= line either way."
+        ),
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT for the HTTP endpoint (default: 127.0.0.1:0 = free port)",
+    )
+    serve.add_argument(
+        "--binary-bind",
+        default=None,
+        help=(
+            "optional HOST:PORT for the length-prefixed binary JSON "
+            "transport (framing discipline of docs/DISTRIBUTED.md; "
+            "disabled when omitted)"
+        ),
+    )
+    serve.add_argument(
+        "--estimators",
+        default="sample_collide,aggregation",
+        help=(
+            "comma-separated estimator families to keep warm "
+            f"(available: {','.join(SERVICE_FAMILIES)})"
+        ),
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=2_000, help="initial overlay size"
+    )
+    serve.add_argument("--seed", type=int, default=7, help="master seed")
+    serve.add_argument(
+        "--probe-interval",
+        type=int,
+        default=5,
+        help="rounds between probe-family refreshes (default: 5)",
+    )
+    serve.add_argument(
+        "--max-qps",
+        type=float,
+        default=0.0,
+        help="token-bucket estimate admission (requests/second; 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=10_000,
+        help="ingest queue bound; events beyond it are shed (default: 10000)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "checkpoint file: written every --snapshot-every rounds and on "
+            "POST /checkpoint, and resumed from at boot when it exists"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="checkpoint cadence in rounds (0 = only explicit /checkpoint)",
+    )
+    serve.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.0,
+        help=(
+            "seconds between automatic rounds (0 = rounds advance only via "
+            "POST /tick, which keeps the scenario deterministic for tests)"
+        ),
+    )
+    serve.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help=(
+            "with --tick-interval: exit cleanly after this many rounds "
+            "(0 = serve until interrupted); lets smoke tests run without "
+            "signal choreography"
+        ),
+    )
+    serve.add_argument(
+        "--journal",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "append service lifecycle events (service_start, "
+            "estimate_served, ingest_dropped, snapshot_checkpoint) to this "
+            "JSONL run journal; inspect with 'obs validate'/'obs summary'"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -602,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trends_parser(subparsers)
     _add_obs_parser(subparsers)
     _add_worker_parser(subparsers)
+    _add_serve_parser(subparsers)
     return parser
 
 
@@ -993,21 +1112,33 @@ def _cmd_obs(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
-def _cmd_worker(args, parser: argparse.ArgumentParser) -> int:
-    # --bind allows port 0 (ephemeral), which parse_hosts — meant for
-    # driver-side connect targets — rejects; validate separately.
-    host, sep, port = args.bind.rpartition(":")
+def _parse_bind(value: str, label: str, parser: argparse.ArgumentParser):
+    """Split a ``host:port`` bind address; port 0 (ephemeral) is allowed.
+
+    ``parse_hosts`` is meant for driver-side *connect* targets and rejects
+    port 0, so bind addresses are validated separately.
+    """
+    host, sep, port = value.rpartition(":")
     if not sep or not host or not port.isdigit() or int(port) > 65535:
         parser.error(
-            f"worker serve: invalid --bind {args.bind!r}: expected 'host:port' "
+            f"{label}: invalid --bind {value!r}: expected 'host:port' "
             "(port 0 binds a free port)"
         )
+    return host, int(port)
+
+
+def _cmd_worker(args, parser: argparse.ArgumentParser) -> int:
+    host, port = _parse_bind(args.bind, "worker serve", parser)
     try:
-        server = WorkerServer(host, int(port), max_sessions=args.max_sessions)
+        server = WorkerServer(host, port, max_sessions=args.max_sessions)
     except OSError as exc:
         sys.stderr.write(f"worker serve: cannot bind {args.bind}: {exc}\n")
         return 2
     sys.stdout.write(f"worker listening on {server.address} (pid {os.getpid()})\n")
+    # Machine-parsable form of the bound address: when --bind asks for
+    # port 0 the kernel picks the port, and harnesses (CI smoke jobs,
+    # scripted launchers) need it without scraping the human line above.
+    sys.stdout.write(f"REPRO_WORKER_ADDR={server.address}\n")
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -1015,6 +1146,86 @@ def _cmd_worker(args, parser: argparse.ArgumentParser) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _cmd_serve(args, parser: argparse.ArgumentParser) -> int:
+    host, port = _parse_bind(args.bind, "serve", parser)
+    binary_port = None
+    binary_host = host
+    if args.binary_bind is not None:
+        binary_host, binary_port = _parse_bind(args.binary_bind, "serve", parser)
+        if binary_host != host:
+            parser.error(
+                "serve: --binary-bind must use the same host as --bind "
+                f"({binary_host!r} != {host!r})"
+            )
+    families = tuple(f for f in args.estimators.split(",") if f)
+    try:
+        config = ServiceConfig(
+            seed=args.seed,
+            initial_size=args.nodes,
+            estimators=families,
+            probe_interval=args.probe_interval,
+            queue_limit=args.queue_limit,
+            max_qps=args.max_qps,
+            snapshot_every=args.snapshot_every,
+        )
+    except ValueError as exc:
+        parser.error(f"serve: {exc}")
+    if args.snapshot_every and args.snapshot is None:
+        parser.error("serve: --snapshot-every needs --snapshot")
+
+    journal = None
+    if args.journal is not None:
+        args.journal.parent.mkdir(parents=True, exist_ok=True)
+        journal = JournalReporter(args.journal)
+    snapshot_path = None if args.snapshot is None else str(args.snapshot)
+    try:
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            # A checkpoint on disk wins over the command-line config: the
+            # restore-resumes-not-replays lifecycle of docs/SERVICE.md.
+            service = EstimationService.from_checkpoint(
+                snapshot_path, progress=journal
+            )
+            sys.stdout.write(
+                f"service restored from {snapshot_path} "
+                f"(round {service.round}, {service.graph.size} nodes)\n"
+            )
+        else:
+            service = EstimationService(
+                config, progress=journal, snapshot_path=snapshot_path
+            )
+        try:
+            server = ServiceServer(
+                service, host=host, port=port, binary_port=binary_port
+            )
+        except OSError as exc:
+            sys.stderr.write(f"serve: cannot bind {args.bind}: {exc}\n")
+            return 2
+        sys.stdout.write(
+            f"service listening on {server.address} (pid {os.getpid()}, "
+            f"families {','.join(service.config.estimators)})\n"
+        )
+        sys.stdout.write(f"REPRO_SERVICE_ADDR={server.address}\n")
+        if server.binary_address is not None:
+            sys.stdout.write(f"REPRO_SERVICE_BINARY_ADDR={server.binary_address}\n")
+        sys.stdout.flush()
+        try:
+            if args.tick_interval > 0:
+                server.start()
+                while args.rounds <= 0 or service.round < args.rounds:
+                    time.sleep(args.tick_interval)
+                    service.tick()
+            else:
+                server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+            pass
+        finally:
+            server.close()
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -1033,7 +1244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # subcommand name ("--csv-dir cache") must not suppress the rewrite.
     if (
         argv
-        and argv[0] not in ("run", "list", "cache", "trends", "obs", "worker")
+        and argv[0] not in ("run", "list", "cache", "trends", "obs", "worker", "serve")
         and any(a in _LEGACY_TARGETS for a in argv)
     ):
         argv = ["run"] + argv
@@ -1056,6 +1267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "worker":
         return _cmd_worker(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
     if args.command == "trends":
         return _cmd_trends(args, parser)
     if args.command == "obs":

@@ -330,3 +330,29 @@ class JournalReporter(ProgressReporter):
     def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
         """Journal an idle host stealing a queued chunk from a busy peer."""
         self._emit("steal", chunk=chunk, from_host=from_host, to_host=to_host)
+
+    # -- service events (repro.service) -------------------------------------
+
+    def on_service_start(self, meta: Mapping[str, Any]) -> None:
+        """Journal an estimation-service boot or checkpoint restore."""
+        self._emit("service_start", **dict(meta))
+
+    def on_estimate_served(
+        self, families: Sequence[str], round: int, staleness: Optional[int]
+    ) -> None:
+        """Journal an admitted estimate read with its worst staleness."""
+        self._emit(
+            "estimate_served", families=list(families), round=round, staleness=staleness
+        )
+
+    def on_ingest_dropped(self, dropped: int, queued: int) -> None:
+        """Journal ingest load-shedding (events dropped, queue depth)."""
+        self._emit("ingest_dropped", dropped=dropped, queued=queued)
+
+    def on_snapshot_checkpoint(
+        self, round: int, path: str, bytes: int, seconds: float
+    ) -> None:
+        """Journal a service checkpoint write (size and duration)."""
+        self._emit(
+            "snapshot_checkpoint", round=round, path=path, bytes=bytes, seconds=seconds
+        )

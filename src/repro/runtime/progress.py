@@ -121,6 +121,32 @@ class ProgressReporter:
     def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
         """An idle host stole queued chunk ``chunk`` from a busy peer's tail."""
 
+    # -- service extensions (repro.service; all optional) --------------------
+
+    def on_service_start(self, meta: Mapping[str, Any]) -> None:
+        """An estimation service booted (or restored from a checkpoint).
+
+        ``meta`` carries at least ``families`` (the warm estimator list),
+        ``size`` (overlay size), ``seed`` and the current ``round``.
+        """
+
+    def on_estimate_served(
+        self, families: Sequence[str], round: int, staleness: Optional[int]
+    ) -> None:
+        """The service admitted and answered one estimate request.
+
+        ``staleness`` is the worst round-distance across the served
+        families' estimates (``None`` before any estimate exists).
+        """
+
+    def on_ingest_dropped(self, dropped: int, queued: int) -> None:
+        """The bounded ingest queue shed ``dropped`` events (``queued`` held)."""
+
+    def on_snapshot_checkpoint(
+        self, round: int, path: str, bytes: int, seconds: float
+    ) -> None:
+        """The service wrote a checkpoint of ``bytes`` bytes at ``round``."""
+
 
 class NullProgress(ProgressReporter):
     """The do-nothing default."""
@@ -255,6 +281,30 @@ class TelemetryCollector(ProgressReporter):
         """Record a work-steal between hosts."""
         self._record("steal", chunk=chunk, from_host=from_host, to_host=to_host)
 
+    def on_service_start(self, meta: Mapping[str, Any]) -> None:
+        """Record a service boot/restore."""
+        self._record("service_start", **dict(meta))
+
+    def on_estimate_served(
+        self, families: Sequence[str], round: int, staleness: Optional[int]
+    ) -> None:
+        """Record an admitted estimate read."""
+        self._record(
+            "estimate_served", families=list(families), round=round, staleness=staleness
+        )
+
+    def on_ingest_dropped(self, dropped: int, queued: int) -> None:
+        """Record ingest load-shedding."""
+        self._record("ingest_dropped", dropped=dropped, queued=queued)
+
+    def on_snapshot_checkpoint(
+        self, round: int, path: str, bytes: int, seconds: float
+    ) -> None:
+        """Record a service checkpoint write."""
+        self._record(
+            "snapshot_checkpoint", round=round, path=path, bytes=bytes, seconds=seconds
+        )
+
     def count(self, kind: str) -> int:
         """Number of recorded events of ``kind``."""
         return sum(1 for ev in self.events if ev["event"] == kind)
@@ -340,3 +390,27 @@ class TeeProgress(ProgressReporter):
         """Forward to every reporter."""
         for r in self.reporters:
             r.on_steal(chunk, from_host, to_host)
+
+    def on_service_start(self, meta: Mapping[str, Any]) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_service_start(meta)
+
+    def on_estimate_served(
+        self, families: Sequence[str], round: int, staleness: Optional[int]
+    ) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_estimate_served(families, round, staleness)
+
+    def on_ingest_dropped(self, dropped: int, queued: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_ingest_dropped(dropped, queued)
+
+    def on_snapshot_checkpoint(
+        self, round: int, path: str, bytes: int, seconds: float
+    ) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_snapshot_checkpoint(round, path, bytes, seconds)

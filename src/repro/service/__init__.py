@@ -1,0 +1,40 @@
+"""Always-on estimation service: the paper's estimators as a product surface.
+
+Batch experiments answer "how big is the network?" once per invocation;
+this package keeps the answer *warm*.  :class:`EstimationService` holds a
+resident scenario — one overlay mutated by a live
+:class:`~repro.churn.scheduler.ChurnScheduler` whose trace grows as
+membership events stream in — plus one warm estimator per configured
+family, refreshed on a round cadence and checkpointed through the same
+pure-data snapshot protocol the batch runtime uses
+(``docs/SNAPSHOTS.md``), so a restarted service resumes instead of
+replaying.
+
+:class:`ServiceServer` exposes the service over a small HTTP/JSON
+endpoint (``/estimate``, ``/health``, ``/stats``, ``/ingest``) with
+token-bucket throttling and a bounded, load-shedding ingest queue, plus
+an optional length-prefixed binary mode reusing the framing discipline
+of :mod:`repro.runtime.cluster`.  :class:`ServiceClient` is the matching
+thin client.  Operational surface: ``repro-experiment serve`` and
+``docs/SERVICE.md``.
+"""
+
+from .core import (
+    SERVICE_FAMILIES,
+    SERVICE_SCHEMA_VERSION,
+    EstimationService,
+    ServiceConfig,
+    TokenBucket,
+)
+from .server import ServiceClient, ServiceServer, recv_frame, send_frame
+
+__all__ = [
+    "SERVICE_FAMILIES",
+    "SERVICE_SCHEMA_VERSION",
+    "EstimationService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "recv_frame",
+    "send_frame",
+]
