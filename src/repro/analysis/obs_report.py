@@ -54,6 +54,9 @@ EVENT_FIELDS: Dict[str, Sequence[str]] = {
     "worker_lost": ("host", "reason"),
     "chunk_migrated": ("chunk", "from_host", "to_host"),
     "steal": ("chunk", "from_host", "to_host"),
+    # Liveness + chaos harness (heartbeat monitor, fault injection).
+    "heartbeat_miss": ("host", "misses", "threshold"),
+    "fault_injected": ("host", "kind"),
     # Service lifecycle (repro.service, docs/SERVICE.md).
     "service_start": ("families", "size", "seed", "round"),
     "estimate_served": ("families", "round", "staleness"),
@@ -261,6 +264,22 @@ def journal_to_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                 from_host=event.get("from_host"),
                 to_host=event.get("to_host"),
             )
+        elif kind == "heartbeat_miss":
+            instant(
+                event,
+                f"heartbeat miss {event.get('host')}",
+                host=event.get("host"),
+                misses=event.get("misses"),
+                threshold=event.get("threshold"),
+            )
+        elif kind == "fault_injected":
+            instant(
+                event,
+                f"fault {event.get('kind')} on {event.get('host')}",
+                host=event.get("host"),
+                fault=event.get("kind"),
+                detail=event.get("detail"),
+            )
         elif kind == "snapshot_boundary":
             seconds = float(event.get("seconds", 0.0))
             trace.append(
@@ -340,6 +359,7 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
     workers: set = set()
     cluster_hosts: set = set()
     lost_hosts = migrations = steals = 0
+    heartbeat_misses = faults_injected = 0
     for event in events:
         kind = event.get("event")
         if kind in ("chunk_done", "trial"):
@@ -371,6 +391,10 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
             migrations += 1
         elif kind == "steal":
             steals += 1
+        elif kind == "heartbeat_miss":
+            heartbeat_misses += 1
+        elif kind == "fault_injected":
+            faults_injected += 1
 
     lines: List[str] = []
     lines.append("run journal summary")
@@ -391,7 +415,14 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
             + ", ".join(f"{k}={v}" for k, v in sorted(boundary_counts.items()))
         )
     lines.append("  " + "   ".join(counter_bits))
-    if cluster_hosts or lost_hosts or migrations or steals:
+    if (
+        cluster_hosts
+        or lost_hosts
+        or migrations
+        or steals
+        or heartbeat_misses
+        or faults_injected
+    ):
         cluster_bits = [f"cluster hosts: {len(cluster_hosts)}"]
         if lost_hosts:
             cluster_bits.append(f"workers lost: {lost_hosts}")
@@ -399,6 +430,10 @@ def render_obs_summary(events: Sequence[Mapping[str, Any]]) -> str:
             cluster_bits.append(f"chunks migrated: {migrations}")
         if steals:
             cluster_bits.append(f"steals: {steals}")
+        if heartbeat_misses:
+            cluster_bits.append(f"heartbeat misses: {heartbeat_misses}")
+        if faults_injected:
+            cluster_bits.append(f"faults injected: {faults_injected}")
         lines.append("  " + "   ".join(cluster_bits))
     lines.append("")
     header = f"  {'phase':<12} {'total':>10} {'share':>7} {'spans':>7} {'mean':>10}"

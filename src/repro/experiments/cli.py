@@ -244,6 +244,27 @@ def _add_run_parser(subparsers) -> None:
             "count (see docs/DISTRIBUTED.md; trusted networks only)"
         ),
     )
+    run.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=float(os.environ.get("REPRO_HEARTBEAT_INTERVAL", "2.0")),
+        help=(
+            "seconds between liveness pings to each cluster worker "
+            "(default: $REPRO_HEARTBEAT_INTERVAL or 2.0; 0 disables the "
+            "heartbeat monitor and falls back to detecting dead workers "
+            "on the next dispatch; only meaningful with --hosts)"
+        ),
+    )
+    run.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        default=int(os.environ.get("REPRO_HEARTBEAT_MISSES", "3")),
+        help=(
+            "consecutive missed pings before a cluster worker is declared "
+            "lost and its chunks migrate (default: $REPRO_HEARTBEAT_MISSES "
+            "or 3; detection latency is bounded by interval x misses)"
+        ),
+    )
     env_cache = os.environ.get("REPRO_CACHE_DIR") or None
     run.add_argument(
         "--cache-dir",
@@ -747,6 +768,8 @@ def _runtime_options(
         snapshots=not getattr(args, "no_snapshot", False),
         graph_backend=getattr(args, "graph_backend", "dict"),
         hosts=getattr(args, "hosts", None),
+        heartbeat_interval=getattr(args, "heartbeat_interval", 2.0),
+        heartbeat_misses=getattr(args, "heartbeat_misses", 3),
     )
 
 

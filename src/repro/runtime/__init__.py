@@ -33,10 +33,19 @@ from .api import (
     sweep,
 )
 from .cluster import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ClusterExecutor,
     WorkerServer,
     parse_hosts,
+)
+from .faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    FrameFault,
+    WorkerFaults,
+    chaos_matrix,
 )
 from .obs import (
     JOURNAL_SCHEMA_VERSION,
@@ -111,6 +120,10 @@ __all__ = [
     "ClusterExecutor",
     "DELAY_PRICINGS",
     "EstimatorSpec",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FrameFault",
     "GCReport",
     "GroupTrend",
     "IdSpaceSpec",
@@ -118,6 +131,7 @@ __all__ = [
     "JournalReporter",
     "LatencySpec",
     "LogProgress",
+    "MIN_PROTOCOL_VERSION",
     "MetricComparison",
     "MetricTrend",
     "StoreStats",
@@ -144,9 +158,11 @@ __all__ = [
     "TrialExecutor",
     "TrialResult",
     "TrialSpec",
+    "WorkerFaults",
     "WorkerServer",
     "batch_config",
     "canonical_json",
+    "chaos_matrix",
     "check_baseline",
     "chunk_specs",
     "compare_revisions",

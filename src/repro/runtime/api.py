@@ -98,6 +98,15 @@ class RuntimeOptions:
     #: ``workers`` it is pure execution detail — results and content
     #: addresses are bit-identical at any host count (docs/DISTRIBUTED.md).
     hosts: Tuple[str, ...] = ()
+    #: Seconds between liveness pings per cluster host (the CLI's
+    #: ``--heartbeat-interval``; ``0`` disables the monitor).  Like
+    #: ``hosts``, pure execution detail — liveness changes *when* a dead
+    #: worker is noticed, never what the batch computes.
+    heartbeat_interval: float = 2.0
+    #: Consecutive missed pings before a cluster host is declared lost
+    #: (the CLI's ``--heartbeat-misses``); with the interval this bounds
+    #: failure-detection latency at ~``interval * misses`` seconds.
+    heartbeat_misses: int = 3
 
     @classmethod
     def create(
@@ -112,12 +121,16 @@ class RuntimeOptions:
         snapshots: bool = True,
         graph_backend: str = "dict",
         hosts: Union[None, str, Sequence[str]] = None,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 3,
     ) -> "RuntimeOptions":
         """Convenience constructor mapping CLI-level values to options.
 
         ``hosts`` accepts the CLI's CSV string (``"h1:p1,h2:p2"``) or a
         sequence of ``host:port`` strings; anything non-empty routes the
-        batch through the cluster executor.
+        batch through the cluster executor.  ``heartbeat_interval`` /
+        ``heartbeat_misses`` tune that executor's liveness monitor and
+        are ignored without hosts.
         """
         store = ResultsStore(pathlib.Path(cache_dir)) if cache_dir else None
         return cls(
@@ -131,6 +144,8 @@ class RuntimeOptions:
             snapshots=snapshots,
             graph_backend=graph_backend,
             hosts=parse_hosts(hosts),
+            heartbeat_interval=float(heartbeat_interval),
+            heartbeat_misses=int(heartbeat_misses),
         )
 
     def with_progress(self, progress: ProgressReporter) -> "RuntimeOptions":
@@ -236,6 +251,8 @@ def run_trials(
             progress=progress,
             snapshots=runtime.snapshots,
             snapshot_store=store if runtime.snapshots else None,
+            heartbeat_interval=runtime.heartbeat_interval,
+            heartbeat_misses=runtime.heartbeat_misses,
         )
     else:
         executor = TrialExecutor(

@@ -15,12 +15,22 @@ The wire format follows the lightweight self-describing RPC approach of
 the Mercury extreme-scale RPC design rather than a heavyweight framework:
 each message is one pickled dict behind an 8-byte big-endian length
 prefix (:func:`send_message` / :func:`recv_message`).  A worker is just
-``repro-experiment worker serve --bind HOST:PORT`` — it accepts a
-connection, answers a version handshake, and then runs
+``repro-experiment worker serve --bind HOST:PORT`` — it accepts
+connections, answers a version handshake, and then runs
 :func:`~repro.runtime.trials.run_chunk` on every ``chunk`` message it
 receives, returning the pickled results.  Workers are stateless between
 chunks: everything a chunk needs (specs + optional boundary snapshot)
 travels in the message, which is what makes migration trivial.
+
+The handshake negotiates a protocol version: the driver offers
+:data:`PROTOCOL_VERSION`, the worker answers with
+``min(offered, PROTOCOL_VERSION)`` as long as the offer is at least
+:data:`MIN_PROTOCOL_VERSION`, and a driver whose offer is rejected
+outright re-dials with the floor version — so new drivers interoperate
+with old v1 workers (and vice versa) without flags.  Version 2 adds a
+second session role: a ``hello`` carrying ``role="heartbeat"`` opens a
+control-path session that answers ``ping`` frames with ``pong`` instead
+of running chunks.
 
 .. warning::
    The transport pickles and unpickles arbitrary payloads and performs no
@@ -28,16 +38,35 @@ travels in the message, which is what makes migration trivial.
    loopback or a private cluster fabric, never a public interface).  See
    ``docs/DISTRIBUTED.md``.
 
+Liveness
+--------
+Treating liveness as a request side-effect leaves a silent-failure
+window: a worker that dies while *idle* is never declared lost until the
+batch drains, and one blocked dispatch can pin a chunk to a dead host
+indefinitely.  The driver therefore runs one heartbeat monitor thread per
+host (protocol v2 and up): every ``heartbeat_interval`` seconds it pings
+the worker over a dedicated heartbeat session and counts consecutive
+misses (timeout, refused connection, or transport error).  Each miss is
+reported as ``heartbeat_miss``; at ``heartbeat_misses`` consecutive
+misses the host is declared lost through exactly the same path as a
+dispatch failure — so loss is detected within roughly
+``heartbeat_interval × heartbeat_misses`` seconds no matter what the
+dispatch threads are doing.  Legacy v1 workers simply run without a
+monitor (detection falls back to dispatch errors, the pre-v2 behaviour).
+
 Scheduling
 ----------
 The driver keeps the snapshot backbone (:class:`~repro.runtime.pool
 .SnapshotBackbone`) local: it resolves every chunk's predecessor-boundary
 snapshot up front and retains the payloads until the chunk completes, so
-a chunk can be re-shipped anywhere at any time.  Chunks are dealt
-round-robin into per-host queues; one driver thread per host drains its
-own queue and, when idle, **steals from the tail** of the longest live
-queue (``steal`` event).  A connection failure is retried with
-exponential backoff; once retries are exhausted the host is declared lost
+a chunk can be re-shipped anywhere at any time.  Chunks are dealt into
+per-host queues — round-robin by default, or proportionally to observed
+per-trial latency once an executor has served a batch to every host
+(per-host chunk-size adaptation; see :meth:`ClusterExecutor._plan`).  One
+driver thread per host drains its own queue and, when idle, **steals from
+the tail** of the longest live queue (``steal`` event).  A connection
+failure is retried with exponential backoff; once retries are exhausted
+— or the heartbeat monitor gives up first — the host is declared lost
 (``worker_lost``) and its queued + in-flight chunks **migrate** — each
 with its retained boundary snapshot — to the surviving hosts
 (``chunk_migrated``).  If every host dies, the remaining chunks re-run
@@ -46,6 +75,16 @@ All of these events flow through the normal
 :class:`~repro.runtime.progress.ProgressReporter` protocol, so journals,
 ``obs summary|trace|validate`` and the telemetry used in tests cover
 distributed runs exactly like local ones.
+
+Fault injection
+---------------
+:class:`WorkerServer` accepts a :class:`~repro.runtime.faults
+.WorkerFaults` bundle (compiled from a seed-reproducible
+:class:`~repro.runtime.faults.FaultPlan`) and reports every fault it
+fires as a ``fault_injected`` event, so chaos tests can hold the
+injected cause and the observed recovery on one validated journal
+timeline.  The legacy ``crash_after``/``delay`` knobs remain as aliases
+for the ``kill_worker``/``slow_host`` fault kinds.
 """
 
 from __future__ import annotations
@@ -59,8 +98,10 @@ import threading
 import time
 import traceback
 from collections import deque
+from dataclasses import replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .faults import WorkerFaults
 from .pool import CHUNKS_PER_WORKER, SnapshotBackbone, chunk_specs
 from .progress import NullProgress, ProgressReporter
 from .snapshots import SNAPSHOT_KINDS
@@ -68,6 +109,7 @@ from .trials import TrialResult, TrialSpec, run_chunk
 
 __all__ = [
     "ClusterExecutor",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "WorkerServer",
     "parse_hosts",
@@ -75,9 +117,15 @@ __all__ = [
     "send_message",
 ]
 
-#: Version exchanged in the hello/welcome handshake; a mismatch fails the
-#: connection immediately rather than mis-deserializing mid-batch.
-PROTOCOL_VERSION = 1
+#: Version the driver offers in the hello; the worker answers with
+#: ``min(offered, PROTOCOL_VERSION)``.  v2 added the heartbeat session
+#: role (ping/pong liveness probes).
+PROTOCOL_VERSION = 2
+
+#: Oldest version either side still speaks.  Offers below this floor (or
+#: non-integer versions) fail the connection immediately rather than
+#: mis-deserializing mid-batch.
+MIN_PROTOCOL_VERSION = 1
 
 #: 8-byte big-endian unsigned length prefix framing every message.
 _HEADER = struct.Struct(">Q")
@@ -170,6 +218,11 @@ def parse_hosts(
 class WorkerServer:
     """A cluster worker: accepts driver connections, runs chunks, replies.
 
+    Sessions are served on one thread per connection, so a heartbeat
+    session keeps answering pings while a chunk session is busy
+    executing — exactly the property the driver's liveness monitor
+    depends on.
+
     Parameters
     ----------
     host / port:
@@ -177,18 +230,24 @@ class WorkerServer:
         address is available as :attr:`address` (the loopback test harness
         and CI both rely on this).
     max_sessions:
-        Exit :meth:`serve_forever` after this many driver connections have
-        come and gone (``None`` = serve until :meth:`close`).  CI workers
-        use ``--max-sessions 1`` so the job tears down by itself.
-    crash_after:
-        Fault-injection knob for tests: after serving this many chunks,
-        abort the connection mid-protocol and stop accepting — simulating
-        a host dying mid-batch so migration paths can be exercised
-        deterministically.
-    delay:
-        Fault-injection knob: sleep this many seconds before each chunk,
-        turning the worker into a predictable straggler so work-stealing
-        can be exercised deterministically.
+        Exit :meth:`serve_forever` after this many *driver* (chunk-role)
+        sessions have come and gone (``None`` = serve until
+        :meth:`close`).  Heartbeat sessions never count toward the cap —
+        a capped worker would otherwise die under monitoring alone.
+    faults:
+        A :class:`~repro.runtime.faults.WorkerFaults` bundle of
+        deterministic fault-injection knobs (usually compiled from a
+        :class:`~repro.runtime.faults.FaultPlan`).  Every fault that
+        fires is reported once per kind through ``progress`` as a
+        ``fault_injected`` event.
+    crash_after / delay:
+        Legacy aliases for the ``kill_worker`` / ``slow_host`` fault
+        kinds, merged into ``faults`` (explicit ``faults`` fields win).
+    progress:
+        Optional :class:`~repro.runtime.progress.ProgressReporter`
+        receiving ``on_fault_injected`` callbacks — in-process chaos
+        tests pass the same collector the driver uses, putting cause and
+        recovery on one timeline.
     """
 
     def __init__(
@@ -199,24 +258,68 @@ class WorkerServer:
         max_sessions: Optional[int] = None,
         crash_after: Optional[int] = None,
         delay: float = 0.0,
+        faults: Optional[WorkerFaults] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         self.max_sessions = max_sessions
         self.crash_after = crash_after
         self.delay = delay
+        merged = faults if faults is not None else WorkerFaults()
+        if crash_after is not None and merged.kill_after_chunks is None:
+            merged = replace(merged, kill_after_chunks=int(crash_after))
+        if delay and not merged.slow_seconds:
+            merged = replace(merged, slow_seconds=float(delay))
+        self.faults = merged
+        self.progress = progress if progress is not None else NullProgress()
+        self._mutex = threading.Lock()
+        self._conns: set = set()
+        self._threads: List[threading.Thread] = []
         self._served_chunks = 0
+        self._sent_frames = 0
+        self._pongs = 0
+        self._accepted = 0
+        self._driver_sessions = 0
+        self._reported_faults: set = set()
         self._closed = False
         self._listener = socket.create_server((host, port))
         self.port = self._listener.getsockname()[1]
         self.address = f"{host}:{self.port}"
 
     def close(self) -> None:
-        """Stop accepting connections (idempotent)."""
-        if not self._closed:
+        """Simulate/perform worker death: drop the listener and every live
+        connection — chunk and heartbeat sessions alike — so the driver
+        observes the same thing a crashed process would produce
+        (idempotent)."""
+        with self._mutex:
+            if self._closed:
+                return
             self._closed = True
+            conns = list(self._conns)
+        self._close_listener()
+        for conn in conns:
             try:
-                self._listener.close()
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:  # pragma: no cover - peer may be gone already
+                pass
+            try:
+                conn.close()
             except OSError:  # pragma: no cover - close is best-effort
                 pass
+
+    def _close_listener(self) -> None:
+        # The shutdown matters: close() alone does not wake a thread
+        # already blocked in accept(), and the kernel keeps the port
+        # bound through that in-flight accept — so a "dead" worker
+        # would keep accepting (and serving!) new sessions.  shutdown
+        # forces the pending accept to return an error immediately.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - not listening / already gone
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
 
     def __enter__(self) -> "WorkerServer":
         return self
@@ -224,48 +327,187 @@ class WorkerServer:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
+    def _inject(self, kind: str, detail: str) -> None:
+        """Report one injected fault (once per kind, to keep journals tidy)."""
+        with self._mutex:
+            if kind in self._reported_faults:
+                return
+            self._reported_faults.add(kind)
+        self.progress.on_fault_injected(self.address, kind, detail)
+
     def serve_forever(self) -> None:
-        """Accept and serve driver sessions until closed (or session cap)."""
-        sessions = 0
-        while not self._closed:
-            if self.max_sessions is not None and sessions >= self.max_sessions:
-                break
+        """Accept and serve sessions until closed (or the driver-session cap).
+
+        Each accepted connection is served on its own daemon thread; the
+        accept loop exits when the listener closes — via :meth:`close`,
+        a ``kill_worker`` fault, or the ``max_sessions`` cap being
+        reached by a finishing driver session.
+        """
+        while True:
+            with self._mutex:
+                if self._closed:
+                    break
+                if (
+                    self.max_sessions is not None
+                    and self._driver_sessions >= self.max_sessions
+                ):
+                    break
             try:
                 conn, _addr = self._listener.accept()
-            except OSError:  # listener closed (by close() or crash_after)
+            except OSError:  # listener closed (close(), cap, or kill fault)
                 break
-            sessions += 1
-            try:
-                self._serve_session(conn)
-            finally:
+            with self._mutex:
+                died = self._closed
+                accepted = self._accepted
+                if not died:
+                    self._accepted += 1
+            if died:
+                # close() raced the accept: the kernel completed this
+                # handshake before the listener went down, but the worker
+                # is dead — drop the connection unserved so the driver
+                # sees the death instead of a zombie session.
                 try:
                     conn.close()
                 except OSError:  # pragma: no cover - close is best-effort
                     pass
+                break
+            refuse = self.faults.refuse_after_sessions
+            if refuse is not None and accepted >= refuse:
+                # Simulated wedged accept queue: take the connection and
+                # immediately drop it, so the driver's dial "succeeds"
+                # but the handshake never completes.
+                self._inject(
+                    "refuse_connect", f"refused connection {accepted}"
+                )
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                continue
+            self._threads = [t for t in self._threads if t.is_alive()]
+            thread = threading.Thread(
+                target=self._run_session,
+                args=(conn,),
+                name=f"worker-session-{accepted}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
         self.close()
 
-    def _serve_session(self, conn: socket.socket) -> None:
-        """One driver session: handshake, then a chunk/result loop."""
+    def _run_session(self, conn: socket.socket) -> None:
+        """Session thread wrapper: track the connection, count driver roles."""
+        with self._mutex:
+            self._conns.add(conn)
+        role = None
+        try:
+            role = self._serve_session(conn)
+        finally:
+            with self._mutex:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            if role == "driver":
+                with self._mutex:
+                    self._driver_sessions += 1
+                    capped = (
+                        self.max_sessions is not None
+                        and self._driver_sessions >= self.max_sessions
+                    )
+                if capped:
+                    # Unblock the accept loop so serve_forever can exit.
+                    self._close_listener()
+
+    def _serve_session(self, conn: socket.socket) -> Optional[str]:
+        """One session: handshake, then a chunk loop or a heartbeat loop."""
         try:
             hello = recv_message(conn)
         except (EOFError, OSError, pickle.UnpicklingError):
-            return
-        if hello.get("type") != "hello" or hello.get("version") != PROTOCOL_VERSION:
+            return None
+        version = hello.get("version")
+        if (
+            hello.get("type") != "hello"
+            or not isinstance(version, int)
+            or isinstance(version, bool)
+            or version < MIN_PROTOCOL_VERSION
+        ):
+            try:
+                send_message(
+                    conn,
+                    {
+                        "type": "error",
+                        "error": (
+                            f"protocol mismatch: worker speaks "
+                            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}, "
+                            f"driver sent {hello!r}"
+                        ),
+                    },
+                )
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+            return None
+        negotiated = min(version, PROTOCOL_VERSION)
+        role = hello.get("role", "driver") if negotiated >= 2 else "driver"
+        try:
             send_message(
                 conn,
-                {
-                    "type": "error",
-                    "error": (
-                        f"protocol mismatch: worker speaks "
-                        f"{PROTOCOL_VERSION}, driver sent {hello!r}"
-                    ),
-                },
+                {"type": "welcome", "version": negotiated, "pid": os.getpid()},
             )
-            return
-        send_message(
-            conn,
-            {"type": "welcome", "version": PROTOCOL_VERSION, "pid": os.getpid()},
-        )
+        except OSError:
+            return None
+        if role == "heartbeat":
+            self._serve_heartbeat(conn)
+            return "heartbeat"
+        self._serve_chunks(conn)
+        return "driver"
+
+    def _serve_heartbeat(self, conn: socket.socket) -> None:
+        """Answer ping frames with pong until the peer hangs up.
+
+        A ``stall_heartbeat`` fault silences the worker *without* closing
+        the connection — the driver must detect the stall by timeout, the
+        same way it would detect a hung process.
+        """
+        while True:
+            try:
+                message = recv_message(conn)
+            except (EOFError, OSError, pickle.UnpicklingError):
+                return
+            kind = message.get("type")
+            if kind == "bye":
+                return
+            if kind != "ping":
+                try:
+                    send_message(
+                        conn,
+                        {"type": "error", "error": f"unexpected message {kind!r}"},
+                    )
+                except OSError:
+                    return
+                continue
+            stall = self.faults.stall_heartbeat_after
+            with self._mutex:
+                pongs = self._pongs
+            if stall is not None and pongs >= stall:
+                self._inject(
+                    "stall_heartbeat", f"stalled after {pongs} pongs"
+                )
+                while True:  # swallow pings silently; never answer again
+                    try:
+                        recv_message(conn)
+                    except (EOFError, OSError, pickle.UnpicklingError):
+                        return
+            with self._mutex:
+                self._pongs += 1
+            try:
+                send_message(conn, {"type": "pong", "seq": message.get("seq")})
+            except OSError:
+                return
+
+    def _serve_chunks(self, conn: socket.socket) -> None:
+        """One driver session: a chunk/result loop with fault injection."""
         while True:
             try:
                 message = recv_message(conn)
@@ -279,17 +521,21 @@ class WorkerServer:
                     conn, {"type": "error", "error": f"unexpected message {kind!r}"}
                 )
                 continue
-            if (
-                self.crash_after is not None
-                and self._served_chunks >= self.crash_after
-            ):
-                # Simulated host death: drop the connection mid-request and
-                # refuse future connections, so the driver's retries fail.
+            kill = self.faults.kill_after_chunks
+            with self._mutex:
+                served = self._served_chunks
+            if kill is not None and served >= kill:
+                # Simulated host death: drop every connection mid-request
+                # and refuse future dials, so chunk retries and heartbeat
+                # probes fail alike.
+                self._inject("kill_worker", f"killed after {served} chunks")
                 self.close()
-                conn.close()
                 return
-            if self.delay:
-                time.sleep(self.delay)
+            if self.faults.slow_seconds:
+                self._inject(
+                    "slow_host", f"{self.faults.slow_seconds:g}s per chunk"
+                )
+                time.sleep(self.faults.slow_seconds)
             try:
                 results = run_chunk(message["specs"], message.get("snapshot"))
             except Exception:  # noqa: BLE001 - remote traceback travels back
@@ -302,11 +548,43 @@ class WorkerServer:
                     },
                 )
                 continue
-            self._served_chunks += 1
-            send_message(
-                conn,
-                {"type": "result", "chunk": message.get("chunk"), "results": results},
-            )
+            with self._mutex:
+                self._served_chunks += 1
+                frame = self._sent_frames
+                self._sent_frames += 1
+            reply = {
+                "type": "result",
+                "chunk": message.get("chunk"),
+                "results": results,
+            }
+            fault = self.faults.frame_fault_at(frame)
+            if fault is not None and fault.mode == "drop":
+                # Swallow the reply and drop the link: the driver sees a
+                # transport error (never a hang) and re-dispatches.
+                self._inject("drop_frame", f"dropped result frame {frame}")
+                return
+            if fault is not None and fault.mode == "truncate":
+                self._inject(
+                    "truncate_frame", f"truncated result frame {frame}"
+                )
+                payload = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+                try:
+                    conn.sendall(
+                        _HEADER.pack(len(payload)) + payload[: len(payload) // 2]
+                    )
+                except OSError:
+                    pass
+                return
+            if fault is not None and fault.mode == "delay":
+                self._inject(
+                    "delay_frame",
+                    f"delayed result frame {frame} by {fault.seconds:g}s",
+                )
+                time.sleep(fault.seconds)
+            try:
+                send_message(conn, reply)
+            except OSError:
+                return
 
 
 # ----------------------------------------------------------------------
@@ -314,36 +592,66 @@ class WorkerServer:
 # ----------------------------------------------------------------------
 
 
+class _ProtocolUnsupported(OSError):
+    """The peer cannot serve the requested session role (legacy worker)."""
+
+
 class _WorkerSession:
     """Driver-side handle on one connected worker (socket + handshake)."""
 
-    def __init__(self, sock: socket.socket, pid: int) -> None:
+    def __init__(self, sock: socket.socket, pid: int, version: int) -> None:
         self.sock = sock
         self.pid = pid
+        self.version = version
 
     @classmethod
-    def connect(cls, host: str, timeout: float) -> "_WorkerSession":
-        """Dial ``host:port``, handshake, and return a ready session."""
+    def connect(
+        cls, host: str, timeout: float, role: Optional[str] = None
+    ) -> "_WorkerSession":
+        """Dial ``host:port``, negotiate a version, return a ready session.
+
+        The driver offers :data:`PROTOCOL_VERSION` first; if the worker
+        rejects the offer with a protocol error (a pre-negotiation v1
+        worker), it re-dials once with :data:`MIN_PROTOCOL_VERSION`.
+        Role-carrying sessions (``role="heartbeat"``) need protocol 2 and
+        raise :class:`_ProtocolUnsupported` against older workers instead
+        of downgrading.
+        """
         name, _, port = host.rpartition(":")
-        sock = socket.create_connection((name, int(port)), timeout=timeout)
-        try:
-            sock.settimeout(None)
-            send_message(sock, {"type": "hello", "version": PROTOCOL_VERSION})
-            welcome = recv_message(sock)
-            if welcome.get("type") != "welcome":
-                raise OSError(
-                    f"worker {host} rejected the handshake: "
-                    f"{welcome.get('error', welcome)}"
-                )
-            if welcome.get("version") != PROTOCOL_VERSION:
-                raise OSError(
-                    f"worker {host} speaks protocol {welcome.get('version')}, "
-                    f"driver speaks {PROTOCOL_VERSION}"
-                )
-        except BaseException:
+        versions = [PROTOCOL_VERSION]
+        if role is None and MIN_PROTOCOL_VERSION < PROTOCOL_VERSION:
+            versions.append(MIN_PROTOCOL_VERSION)
+        last_error = ""
+        for version in versions:
+            sock = socket.create_connection((name, int(port)), timeout=timeout)
+            try:
+                hello: Dict[str, Any] = {"type": "hello", "version": version}
+                if role is not None:
+                    hello["role"] = role
+                send_message(sock, hello)
+                welcome = recv_message(sock)
+            except BaseException:
+                sock.close()
+                raise
+            if welcome.get("type") == "welcome":
+                try:
+                    negotiated = int(welcome.get("version", version))
+                except (TypeError, ValueError):
+                    negotiated = version
+                sock.settimeout(None)
+                return cls(sock, int(welcome.get("pid", -1)), negotiated)
             sock.close()
-            raise
-        return cls(sock, int(welcome.get("pid", -1)))
+            last_error = str(welcome.get("error", welcome))
+            if "protocol" not in last_error.lower():
+                raise OSError(
+                    f"worker {host} rejected the handshake: {last_error}"
+                )
+            # A protocol rejection: fall through to the legacy version.
+        if role is not None:
+            raise _ProtocolUnsupported(
+                f"worker {host} cannot serve {role} sessions: {last_error}"
+            )
+        raise OSError(f"worker {host} rejected the handshake: {last_error}")
 
     def request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         """Send one message and block for its reply."""
@@ -351,12 +659,22 @@ class _WorkerSession:
         return recv_message(self.sock)
 
     def close(self, polite: bool = False) -> None:
-        """Drop the connection (optionally after a ``bye``)."""
+        """Drop the connection (optionally after a ``bye``).
+
+        The shutdown before close matters: it unblocks a peer thread —
+        or this driver's own dispatch thread — currently parked in
+        ``recv`` on the same socket, which is how the heartbeat monitor
+        cancels an in-flight request to a host it just declared dead.
+        """
         if polite:
             try:
                 send_message(self.sock, {"type": "bye"})
             except OSError:  # pragma: no cover - peer already gone
                 pass
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - close is best-effort
@@ -367,20 +685,34 @@ class _RunState:
     """Shared scheduler state for one batch (guarded by ``cond``)."""
 
     def __init__(
-        self, chunks: Sequence[Sequence[TrialSpec]], hosts: Sequence[str]
+        self,
+        chunks: Sequence[Sequence[TrialSpec]],
+        hosts: Sequence[str],
+        dealt: Optional[Mapping[str, Sequence[int]]] = None,
     ) -> None:
         self.cond = threading.Condition()
         self.total_chunks = len(chunks)
         self.total_trials = sum(len(chunk) for chunk in chunks)
         self.queues: Dict[str, deque] = {host: deque() for host in hosts}
-        for i in range(len(chunks)):
-            self.queues[hosts[i % len(hosts)]].append(i)
+        if dealt is None:
+            for i in range(len(chunks)):
+                self.queues[hosts[i % len(hosts)]].append(i)
+        else:
+            for host, ids in dealt.items():
+                self.queues[host].extend(ids)
         self.live = set(hosts)
         self.in_flight: Dict[str, int] = {}
         self.completed: Dict[int, List[TrialResult]] = {}
         self.announced: set = set()
         self.done_trials = 0
         self.error: Optional[Tuple[int, str]] = None
+        # Dispatch sessions by host, registered so the heartbeat monitor
+        # can sever a blocked request when it declares the host dead.
+        self.sessions: Dict[str, _WorkerSession] = {}
+        self.monitor_sessions: Dict[str, _WorkerSession] = {}
+        # Set once every dispatch thread has drained; monitors exit on it
+        # and suppress any late events.
+        self.finished = threading.Event()
 
 
 class ClusterExecutor:
@@ -390,7 +722,7 @@ class ClusterExecutor:
     :class:`~repro.runtime.pool.TrialExecutor` — callers (and
     :func:`~repro.runtime.api.run_trials`) cannot tell the two apart
     except through progress events.  See the module docstring for the
-    scheduling and failure semantics.
+    scheduling, liveness and failure semantics.
 
     Parameters
     ----------
@@ -398,11 +730,14 @@ class ClusterExecutor:
         Worker addresses (``host:port`` strings, CSV string accepted).
     chunk_size:
         Trials per dispatched chunk (default: batch split into
-        ``len(hosts) * CHUNKS_PER_WORKER`` chunks, mirroring the pool).
+        ``len(hosts) * CHUNKS_PER_WORKER`` chunks, mirroring the pool —
+        or latency-proportional per-host sizes once adaptation has
+        history; an explicit value disables adaptation).
     progress:
         Optional :class:`ProgressReporter`; cluster events are reported
         through the ``on_worker_connect`` / ``on_worker_lost`` /
-        ``on_chunk_migrated`` / ``on_steal`` hooks.
+        ``on_chunk_migrated`` / ``on_steal`` / ``on_heartbeat_miss``
+        hooks.
     snapshots / snapshot_store:
         Boundary-snapshot hand-off, exactly as on the pool executor.
     retries:
@@ -412,6 +747,18 @@ class ClusterExecutor:
         sleeps ``backoff * 2**(k-1)``.
     connect_timeout:
         Socket connect/handshake timeout per attempt (seconds).
+    heartbeat_interval:
+        Seconds between liveness pings per host (``0`` disables the
+        monitor, restoring dispatch-only failure detection).
+    heartbeat_misses:
+        Consecutive missed pings before a host is declared lost; with
+        the interval this bounds detection latency at roughly
+        ``heartbeat_interval * heartbeat_misses`` seconds.
+    adaptive:
+        Adapt per-host chunk sizes to observed per-trial latency on the
+        *next* batch this executor runs (requires history for every
+        host, so the first batch is always dealt uniformly).  Results
+        are unaffected either way — only placement changes.
     """
 
     def __init__(
@@ -424,6 +771,9 @@ class ClusterExecutor:
         retries: int = 3,
         backoff: float = 0.1,
         connect_timeout: float = 10.0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 3,
+        adaptive: bool = True,
     ) -> None:
         self.hosts = parse_hosts(hosts)
         if not self.hosts:
@@ -432,6 +782,14 @@ class ClusterExecutor:
             raise ValueError(f"duplicate hosts in {self.hosts!r}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if heartbeat_interval < 0:
+            raise ValueError(
+                f"heartbeat_interval must be >= 0, got {heartbeat_interval}"
+            )
+        if heartbeat_misses < 1:
+            raise ValueError(
+                f"heartbeat_misses must be >= 1, got {heartbeat_misses}"
+            )
         self.chunk_size = chunk_size
         self.progress = progress if progress is not None else NullProgress()
         self.snapshots = bool(snapshots)
@@ -439,6 +797,13 @@ class ClusterExecutor:
         self.retries = max(0, int(retries))
         self.backoff = float(backoff)
         self.connect_timeout = float(connect_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_misses = int(heartbeat_misses)
+        self.adaptive = bool(adaptive)
+        # EWMA of observed seconds-per-trial by host, fed by completed
+        # dispatches and consumed by _plan on the next batch.
+        self._latency: Dict[str, float] = {}
+        self._latency_lock = threading.Lock()
 
     def _auto_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -466,9 +831,9 @@ class ClusterExecutor:
             return results
 
         self.progress.on_start(len(specs), len(self.hosts))
-        chunks = chunk_specs(specs, self._auto_chunk_size(len(specs)))
+        chunks, dealt = self._plan(specs)
         boundaries, payloads = self._boundary_payloads(chunks)
-        state = _RunState(chunks, self.hosts)
+        state = _RunState(chunks, self.hosts, dealt)
         threads = [
             threading.Thread(
                 target=self._serve_host,
@@ -478,10 +843,31 @@ class ClusterExecutor:
             )
             for host in self.hosts
         ]
+        monitors = []
+        if self.heartbeat_interval > 0:
+            monitors = [
+                threading.Thread(
+                    target=self._monitor_host,
+                    args=(state, host),
+                    name=f"heartbeat-{host}",
+                    daemon=True,
+                )
+                for host in self.hosts
+            ]
         for thread in threads:
             thread.start()
+        for monitor in monitors:
+            monitor.start()
         for thread in threads:
             thread.join()
+        state.finished.set()
+        with state.cond:
+            leftover_sessions = list(state.monitor_sessions.values())
+            state.monitor_sessions.clear()
+        for session in leftover_sessions:
+            session.close()
+        for monitor in monitors:
+            monitor.join(timeout=0.5)
 
         if state.error is not None:
             chunk_id, remote_error = state.error
@@ -518,6 +904,75 @@ class ClusterExecutor:
         self.progress.on_finish(len(results), time.perf_counter() - started)
         return results
 
+    # -- chunk planning ----------------------------------------------------
+
+    def _plan(
+        self, specs: Sequence[TrialSpec]
+    ) -> Tuple[List[List[TrialSpec]], Optional[Dict[str, List[int]]]]:
+        """Split the batch into chunks and deal them to hosts.
+
+        Default plan: uniform ``_auto_chunk_size`` chunks dealt
+        round-robin (``dealt=None``).  Once adaptation has a latency
+        estimate for *every* host — i.e. from this executor's second
+        batch on — the batch is instead apportioned into contiguous
+        per-host blocks proportional to ``1/latency`` (largest-remainder
+        rounding), each block split into at most
+        :data:`CHUNKS_PER_WORKER` chunks, so a fast host gets more and
+        larger chunks and a straggler gets fewer and smaller ones.
+
+        Either way chunks partition ``specs`` contiguously in index
+        order, which keeps the snapshot backbone's boundary targets
+        monotonically increasing — a hard requirement of
+        :meth:`~repro.runtime.pool.SnapshotBackbone.payload_at`.
+        """
+        total = len(specs)
+        with self._latency_lock:
+            latency = dict(self._latency)
+        usable = (
+            self.chunk_size is None
+            and self.adaptive
+            and len(self.hosts) > 1
+            and all(latency.get(host, 0.0) > 0.0 for host in self.hosts)
+        )
+        if not usable:
+            return chunk_specs(specs, self._auto_chunk_size(total)), None
+        weights = {host: 1.0 / latency[host] for host in self.hosts}
+        scale = sum(weights.values())
+        quotas = {host: total * weights[host] / scale for host in self.hosts}
+        shares = {host: int(math.floor(quotas[host])) for host in self.hosts}
+        remainder = total - sum(shares.values())
+        by_fraction = sorted(
+            self.hosts,
+            key=lambda host: (shares[host] - quotas[host], self.hosts.index(host)),
+        )
+        for host in by_fraction[:remainder]:
+            shares[host] += 1
+        chunks: List[List[TrialSpec]] = []
+        dealt: Dict[str, List[int]] = {host: [] for host in self.hosts}
+        cursor = 0
+        for host in self.hosts:
+            block = list(specs[cursor : cursor + shares[host]])
+            cursor += shares[host]
+            if not block:
+                continue
+            size = max(1, math.ceil(len(block) / CHUNKS_PER_WORKER))
+            for piece in chunk_specs(block, size):
+                dealt[host].append(len(chunks))
+                chunks.append(piece)
+        return chunks, dealt
+
+    def _note_latency(self, host: str, seconds: float, trials: int) -> None:
+        """Fold one completed dispatch into the host's per-trial EWMA."""
+        if trials <= 0 or seconds < 0:
+            return
+        per_trial = seconds / trials
+        with self._latency_lock:
+            previous = self._latency.get(host)
+            if previous is None:
+                self._latency[host] = per_trial
+            else:
+                self._latency[host] = 0.5 * previous + 0.5 * per_trial
+
     def _boundary_payloads(
         self, chunks: Sequence[Sequence[TrialSpec]]
     ) -> Tuple[Dict[int, Optional[int]], Dict[int, Optional[Mapping[str, Any]]]]:
@@ -547,6 +1002,82 @@ class ClusterExecutor:
             payloads[i] = backbone.payload_at(target)
         return boundaries, payloads
 
+    # -- heartbeat monitor -------------------------------------------------
+
+    def _monitor_host(self, state: _RunState, host: str) -> None:
+        """Liveness monitor thread: ping ``host`` until the batch drains.
+
+        Counts consecutive misses (timeout, refused dial, transport
+        error); every miss is reported via ``on_heartbeat_miss`` and at
+        :attr:`heartbeat_misses` the host goes through the same
+        :meth:`_host_lost` path as a dispatch failure.  Legacy v1 workers
+        (no heartbeat role) disable the monitor for their host.  Each
+        probe cycle costs ``max(interval, time spent probing)``, so
+        detection is bounded by ``misses * max(interval, ping timeout)``
+        with the ping timeout fixed at the interval.
+        """
+        interval = self.heartbeat_interval
+        threshold = self.heartbeat_misses
+        ping_timeout = max(interval, 0.02)
+        session: Optional[_WorkerSession] = None
+        misses = 0
+        seq = 0
+        try:
+            while not state.finished.is_set():
+                began = time.monotonic()
+                with state.cond:
+                    if host not in state.live:
+                        return
+                try:
+                    if session is None:
+                        session = _WorkerSession.connect(
+                            host, self.connect_timeout, role="heartbeat"
+                        )
+                        if session.version < 2:
+                            return  # pre-heartbeat worker: nothing to probe
+                        session.sock.settimeout(ping_timeout)
+                        with state.cond:
+                            state.monitor_sessions[host] = session
+                    seq += 1
+                    reply = session.request({"type": "ping", "seq": seq})
+                    if reply.get("type") != "pong":
+                        raise OSError(f"unexpected heartbeat reply {reply!r}")
+                    misses = 0
+                except _ProtocolUnsupported:
+                    session = None
+                    return
+                except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
+                    if session is not None:
+                        with state.cond:
+                            if state.monitor_sessions.get(host) is session:
+                                state.monitor_sessions.pop(host, None)
+                        session.close()
+                        session = None
+                    if state.finished.is_set():
+                        return
+                    misses += 1
+                    with state.cond:
+                        if host not in state.live:
+                            return
+                    self.progress.on_heartbeat_miss(host, misses, threshold)
+                    if misses >= threshold:
+                        self._host_lost(
+                            state,
+                            host,
+                            f"no heartbeat after {misses} probes "
+                            f"({interval:g}s apart): {exc}",
+                        )
+                        return
+                pause = max(0.0, interval - (time.monotonic() - began))
+                if state.finished.wait(timeout=pause):
+                    return
+        finally:
+            if session is not None:
+                with state.cond:
+                    if state.monitor_sessions.get(host) is session:
+                        state.monitor_sessions.pop(host, None)
+                session.close(polite=True)
+
     # -- per-host driver thread --------------------------------------------
 
     def _serve_host(
@@ -568,7 +1099,9 @@ class ClusterExecutor:
                     if session is None:
                         session = _WorkerSession.connect(host, self.connect_timeout)
                         with state.cond:
+                            state.sessions[host] = session
                             self.progress.on_worker_connect(host, session.pid)
+                    dispatched = time.perf_counter()
                     reply = session.request(
                         {
                             "type": "chunk",
@@ -577,19 +1110,33 @@ class ClusterExecutor:
                             "snapshot": payloads.get(chunk_id),
                         }
                     )
+                    elapsed = time.perf_counter() - dispatched
                 except (OSError, EOFError, pickle.PickleError, struct.error) as exc:
                     if session is not None:
                         session.close()
-                        session = None
                     failures += 1
-                    if failures <= self.retries:
-                        self._requeue(state, host, chunk_id)
+                    with state.cond:
+                        if state.sessions.get(host) is session:
+                            state.sessions.pop(host, None)
+                        session = None
+                        if host not in state.live:
+                            # The heartbeat monitor declared this host dead
+                            # while we were blocked; it already migrated the
+                            # in-flight chunk — do not re-queue or re-lose.
+                            return
+                        retrying = failures <= self.retries
+                        if retrying:
+                            state.in_flight.pop(host, None)
+                            state.queues[host].appendleft(chunk_id)
+                            state.cond.notify_all()
+                    if retrying:
                         time.sleep(self.backoff * (2 ** (failures - 1)))
                         continue
                     self._host_lost(state, host, exc, chunk_id)
                     return
                 failures = 0
                 if reply.get("type") == "result":
+                    self._note_latency(host, elapsed, len(chunks[chunk_id]))
                     self._record(state, host, chunk_id, reply.get("results") or [])
                 else:
                     # A worker-side exception is deterministic — the chunk
@@ -605,6 +1152,9 @@ class ClusterExecutor:
                         state.cond.notify_all()
                     return
         finally:
+            with state.cond:
+                if state.sessions.get(host) is session:
+                    state.sessions.pop(host, None)
             if session is not None:
                 session.close(polite=True)
 
@@ -660,27 +1210,42 @@ class ClusterExecutor:
                     return None
                 state.cond.wait(timeout=0.05)
 
-    def _requeue(self, state: _RunState, host: str, chunk_id: int) -> None:
-        """Put a failed dispatch back at the head of this host's queue.
-
-        Done *before* the backoff sleep so an idle peer can steal the
-        chunk while this host reconnects.
-        """
-        with state.cond:
-            state.in_flight.pop(host, None)
-            state.queues[host].appendleft(chunk_id)
-            state.cond.notify_all()
-
     def _host_lost(
-        self, state: _RunState, host: str, exc: Exception, chunk_id: int
+        self,
+        state: _RunState,
+        host: str,
+        reason: Union[str, Exception],
+        chunk_id: Optional[int] = None,
     ) -> None:
-        """Declare a host dead and migrate its work to the survivors."""
+        """Declare a host dead (once) and migrate its work to the survivors.
+
+        Shared by the dispatch path (retries exhausted; passes the failed
+        ``chunk_id``) and the heartbeat monitor (missed-ping threshold;
+        no ``chunk_id`` — the in-flight entry covers any blocked
+        dispatch).  The first caller wins; later calls are no-ops, which
+        is what keeps ``worker_lost`` exactly-once when both paths race.
+        """
+        if state.finished.is_set():
+            return
+        sessions: List[_WorkerSession] = []
         with state.cond:
+            if host not in state.live:
+                return
             state.live.discard(host)
-            state.in_flight.pop(host, None)
-            orphans = [chunk_id] + list(state.queues[host])
+            orphans: List[int] = []
+            in_flight = state.in_flight.pop(host, None)
+            if chunk_id is not None and chunk_id != in_flight:
+                orphans.append(chunk_id)
+            if in_flight is not None:
+                orphans.append(in_flight)
+            orphans.extend(state.queues[host])
             state.queues[host].clear()
-            self.progress.on_worker_lost(host, str(exc))
+            orphans = [o for o in orphans if o not in state.completed]
+            for registry in (state.sessions, state.monitor_sessions):
+                session = registry.pop(host, None)
+                if session is not None:
+                    sessions.append(session)
+            self.progress.on_worker_lost(host, str(reason))
             survivors = sorted(state.live)
             if survivors:
                 for i, orphan in enumerate(orphans):
@@ -688,6 +1253,11 @@ class ClusterExecutor:
                     state.queues[target].append(orphan)
                     self.progress.on_chunk_migrated(orphan, host, target)
             state.cond.notify_all()
+        # Closed outside the lock: severing the dispatch session unblocks
+        # a thread parked in recv on it, which then observes the host is
+        # no longer live and exits without re-queueing.
+        for session in sessions:
+            session.close()
 
     def _record(
         self, state: _RunState, host: str, chunk_id: int, results: List[TrialResult]

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, IO, Iterator, Mapping, Optional, Sequence, Tuple, Union
@@ -199,15 +200,20 @@ class JournalReporter(ProgressReporter):
         self._clock = clock
         self._batch = 0
         self._in_batch = False
+        # Cluster batches journal from several threads at once (dispatch
+        # threads, heartbeat monitors, in-process chaos workers); the lock
+        # keeps each JSONL line atomic.
+        self._write_lock = threading.Lock()
         self._emit("journal", schema=JOURNAL_SCHEMA_VERSION, pid=os.getpid())
 
     def _emit(self, event: str, **data: Any) -> None:
-        record: Dict[str, Any] = {"ts": float(self._clock()), "event": event}
-        if self._in_batch or event in ("batch_meta", "batch_start"):
-            record["batch"] = self._batch
-        record.update(data)
-        self._stream.write(json.dumps(record, sort_keys=False) + "\n")
-        self._stream.flush()
+        with self._write_lock:
+            record: Dict[str, Any] = {"ts": float(self._clock()), "event": event}
+            if self._in_batch or event in ("batch_meta", "batch_start"):
+                record["batch"] = self._batch
+            record.update(data)
+            self._stream.write(json.dumps(record, sort_keys=False) + "\n")
+            self._stream.flush()
 
     def _next_batch(self) -> None:
         self._batch += 1
@@ -330,6 +336,14 @@ class JournalReporter(ProgressReporter):
     def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
         """Journal an idle host stealing a queued chunk from a busy peer."""
         self._emit("steal", chunk=chunk, from_host=from_host, to_host=to_host)
+
+    def on_heartbeat_miss(self, host: str, misses: int, threshold: int) -> None:
+        """Journal a missed liveness ping (consecutive count vs threshold)."""
+        self._emit("heartbeat_miss", host=host, misses=misses, threshold=threshold)
+
+    def on_fault_injected(self, host: str, kind: str, detail: str) -> None:
+        """Journal a chaos-harness fault firing on a worker."""
+        self._emit("fault_injected", host=host, kind=kind, detail=detail)
 
     # -- service events (repro.service) -------------------------------------
 

@@ -121,6 +121,22 @@ class ProgressReporter:
     def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
         """An idle host stole queued chunk ``chunk`` from a busy peer's tail."""
 
+    def on_heartbeat_miss(self, host: str, misses: int, threshold: int) -> None:
+        """Cluster worker ``host`` missed a liveness ping.
+
+        ``misses`` is the consecutive-miss count so far; reaching
+        ``threshold`` declares the host lost (``on_worker_lost`` follows
+        through the normal migration path).
+        """
+
+    def on_fault_injected(self, host: str, kind: str, detail: str) -> None:
+        """The chaos harness fired an injected fault on worker ``host``.
+
+        ``kind`` is one of :data:`~repro.runtime.faults.FAULT_KINDS`;
+        reported by the worker itself (once per kind) so journals hold
+        the injected cause and the observed recovery on one timeline.
+        """
+
     # -- service extensions (repro.service; all optional) --------------------
 
     def on_service_start(self, meta: Mapping[str, Any]) -> None:
@@ -209,6 +225,14 @@ class LogProgress(ProgressReporter):
         """Log a chunk migrating off a dead host."""
         self._emit(f"chunk {chunk} migrated {from_host} -> {to_host}")
 
+    def on_heartbeat_miss(self, host: str, misses: int, threshold: int) -> None:
+        """Log a missed liveness ping with the running miss count."""
+        self._emit(f"heartbeat miss {misses}/{threshold} for worker {host}")
+
+    def on_fault_injected(self, host: str, kind: str, detail: str) -> None:
+        """Log an injected chaos fault firing on a worker."""
+        self._emit(f"fault injected on {host}: {kind} ({detail})")
+
 
 class TelemetryCollector(ProgressReporter):
     """Records every callback as an event dict — for tests and tooling."""
@@ -280,6 +304,14 @@ class TelemetryCollector(ProgressReporter):
     def on_steal(self, chunk: int, from_host: str, to_host: str) -> None:
         """Record a work-steal between hosts."""
         self._record("steal", chunk=chunk, from_host=from_host, to_host=to_host)
+
+    def on_heartbeat_miss(self, host: str, misses: int, threshold: int) -> None:
+        """Record a missed liveness ping."""
+        self._record("heartbeat_miss", host=host, misses=misses, threshold=threshold)
+
+    def on_fault_injected(self, host: str, kind: str, detail: str) -> None:
+        """Record an injected chaos fault."""
+        self._record("fault_injected", host=host, kind=kind, detail=detail)
 
     def on_service_start(self, meta: Mapping[str, Any]) -> None:
         """Record a service boot/restore."""
@@ -390,6 +422,16 @@ class TeeProgress(ProgressReporter):
         """Forward to every reporter."""
         for r in self.reporters:
             r.on_steal(chunk, from_host, to_host)
+
+    def on_heartbeat_miss(self, host: str, misses: int, threshold: int) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_heartbeat_miss(host, misses, threshold)
+
+    def on_fault_injected(self, host: str, kind: str, detail: str) -> None:
+        """Forward to every reporter."""
+        for r in self.reporters:
+            r.on_fault_injected(host, kind, detail)
 
     def on_service_start(self, meta: Mapping[str, Any]) -> None:
         """Forward to every reporter."""

@@ -19,6 +19,7 @@ import pickle
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -47,7 +48,9 @@ from repro.runtime import (
 )
 from repro.runtime.cluster import (
     MAX_MESSAGE_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    _WorkerSession,
     recv_message,
     send_message,
 )
@@ -172,19 +175,112 @@ class TestProtocol:
         finally:
             a.close(), b.close()
 
-    def test_handshake_version_mismatch_is_fatal(self):
+    @pytest.mark.parametrize("bad_version", [0, -1, "2", None, True])
+    def test_handshake_invalid_version_is_fatal(self, bad_version):
+        """Offers below the floor (or non-integers) fail the handshake."""
         with cluster(1) as hosts:
             name, _, port = hosts[0].rpartition(":")
             sock = socket.create_connection((name, int(port)), timeout=5.0)
             try:
-                send_message(
-                    sock, {"type": "hello", "version": PROTOCOL_VERSION + 1}
-                )
+                send_message(sock, {"type": "hello", "version": bad_version})
                 reply = recv_message(sock)
                 assert reply["type"] == "error"
                 assert "protocol" in reply["error"]
             finally:
                 sock.close()
+
+    def test_handshake_negotiates_down_to_worker_version(self):
+        """A newer driver's offer is answered with the worker's own version."""
+        with cluster(1) as hosts:
+            name, _, port = hosts[0].rpartition(":")
+            sock = socket.create_connection((name, int(port)), timeout=5.0)
+            try:
+                send_message(
+                    sock, {"type": "hello", "version": PROTOCOL_VERSION + 7}
+                )
+                reply = recv_message(sock)
+                assert reply["type"] == "welcome"
+                assert reply["version"] == PROTOCOL_VERSION
+            finally:
+                sock.close()
+
+    def test_handshake_accepts_legacy_v1_driver(self):
+        """An old v1 driver (no role field) still gets a v1 chunk session."""
+        specs = _static_specs(count=2)
+        with cluster(1) as hosts:
+            name, _, port = hosts[0].rpartition(":")
+            sock = socket.create_connection((name, int(port)), timeout=5.0)
+            try:
+                send_message(
+                    sock, {"type": "hello", "version": MIN_PROTOCOL_VERSION}
+                )
+                reply = recv_message(sock)
+                assert reply["type"] == "welcome"
+                assert reply["version"] == MIN_PROTOCOL_VERSION
+                send_message(
+                    sock,
+                    {"type": "chunk", "chunk": 0, "specs": specs, "snapshot": None},
+                )
+                result = recv_message(sock)
+                assert result["type"] == "result"
+                assert len(result["results"]) == len(specs)
+            finally:
+                sock.close()
+
+    def test_driver_downgrades_against_legacy_v1_worker(self):
+        """A new driver re-dials a strict-v1 worker with the floor version."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = f"127.0.0.1:{listener.getsockname()[1]}"
+
+        def legacy_worker():
+            # A pre-negotiation worker: strict equality on version 1.
+            for _ in range(2):
+                try:
+                    conn, _addr = listener.accept()
+                except OSError:
+                    return
+                try:
+                    hello = recv_message(conn)
+                    if hello.get("version") != MIN_PROTOCOL_VERSION:
+                        send_message(
+                            conn,
+                            {"type": "error", "error": "protocol mismatch: v1 only"},
+                        )
+                        continue
+                    send_message(
+                        conn,
+                        {
+                            "type": "welcome",
+                            "version": MIN_PROTOCOL_VERSION,
+                            "pid": 4242,
+                        },
+                    )
+                    return
+                finally:
+                    conn.close()
+
+        thread = threading.Thread(target=legacy_worker, daemon=True)
+        thread.start()
+        try:
+            session = _WorkerSession.connect(address, timeout=5.0)
+            assert session.version == MIN_PROTOCOL_VERSION
+            assert session.pid == 4242
+            session.close()
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_heartbeat_session_answers_pings(self):
+        """A v2 heartbeat-role session answers ping with matching pong."""
+        with cluster(1) as hosts:
+            session = _WorkerSession.connect(hosts[0], timeout=5.0, role="heartbeat")
+            try:
+                assert session.version == PROTOCOL_VERSION
+                for seq in (1, 2, 3):
+                    reply = session.request({"type": "ping", "seq": seq})
+                    assert reply == {"type": "pong", "seq": seq}
+            finally:
+                session.close(polite=True)
 
 
 class TestParseHosts:
@@ -324,6 +420,61 @@ class TestWorkerLoss:
         assert telemetry.count("partial_fallback") == 1
         assert telemetry.count("finish") == 1
 
+    def test_idle_worker_death_detected_by_heartbeat(self):
+        """Regression for the silent-failure window: a worker that dies
+        while *idle* (its queue drained, nothing in flight) used to stay
+        "live" until the batch drained; the heartbeat monitor must now
+        declare it lost while the batch is still running."""
+        specs = _static_specs(count=8)
+        serial = run_chunk(list(specs))
+        telemetry = TelemetryCollector()
+        slow = WorkerServer(delay=1.0)
+        fast = WorkerServer()
+        servers = [slow, fast]
+        threads = [
+            threading.Thread(target=s.serve_forever, daemon=True) for s in servers
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            done = threading.Event()
+            run_box = {}
+
+            def drive():
+                executor = ClusterExecutor(
+                    [slow.address, fast.address],
+                    chunk_size=4,
+                    progress=telemetry,
+                    heartbeat_interval=0.05,
+                    heartbeat_misses=2,
+                )
+                run_box["results"] = executor.run(list(specs))
+                done.set()
+
+            driver = threading.Thread(target=drive, daemon=True)
+            driver.start()
+            # The fast worker finishes its one chunk and goes idle while
+            # the slow worker is still sleeping; then it "dies".
+            time.sleep(0.4)
+            assert not done.is_set(), "batch drained before the fault fired"
+            fast.close()
+            driver.join(timeout=30.0)
+            assert done.is_set()
+        finally:
+            for server in servers:
+                server.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        assert_results_equal(serial, run_box["results"])
+        lost = [e for e in telemetry.events if e["event"] == "worker_lost"]
+        assert [e["host"] for e in lost] == [fast.address]
+        assert "heartbeat" in lost[0]["reason"]
+        assert telemetry.count("heartbeat_miss") >= 2
+        # The loss must be observed mid-batch — before the batch finish —
+        # not discovered after the fact.
+        kinds = [e["event"] for e in telemetry.events]
+        assert kinds.index("worker_lost") < kinds.index("finish")
+
     def test_worker_side_exception_aborts_the_batch(self):
         """A deterministic chunk error must raise, not migrate forever."""
         specs = [TrialSpec("no_such_kind", 7, i) for i in range(1, 5)]
@@ -443,3 +594,46 @@ class TestGoldenClusterJournal:
         assert "worker lost 10.0.0.2:7700" in names
         assert "chunk 1 migrated" in names
         assert "chunk 1 stolen" in names
+
+
+class TestGoldenHeartbeatJournal:
+    """The committed heartbeat-detected-loss journal stays valid.
+
+    The fixture tells the canonical chaos story: a kill fault fires on a
+    worker whose queue is empty, the heartbeat monitor counts it out, the
+    loss is declared mid-batch and its queued chunk migrates — all on one
+    timeline ``obs validate`` accepts.
+    """
+
+    def test_golden_heartbeat_journal_validates(self):
+        events = read_journal(DATA / "golden_heartbeat_journal.jsonl")
+        assert validate_journal(events) == []
+
+    def test_golden_heartbeat_journal_orders_cause_before_recovery(self):
+        events = read_journal(DATA / "golden_heartbeat_journal.jsonl")
+        kinds = [e["event"] for e in events]
+        fault = kinds.index("fault_injected")
+        misses = [i for i, k in enumerate(kinds) if k == "heartbeat_miss"]
+        lost = kinds.index("worker_lost")
+        assert fault < misses[0] < misses[-1] < lost < kinds.index("chunk_migrated")
+        assert lost < kinds.index("batch_finish")
+        threshold = events[misses[-1]]["threshold"]
+        assert events[misses[-1]]["misses"] == threshold
+
+    def test_golden_heartbeat_journal_summary_counts_liveness_events(self):
+        events = read_journal(DATA / "golden_heartbeat_journal.jsonl")
+        summary = render_obs_summary(events)
+        assert "cluster hosts: 2" in summary
+        assert "workers lost: 1" in summary
+        assert "chunks migrated: 1" in summary
+        assert "heartbeat misses: 2" in summary
+        assert "faults injected: 1" in summary
+
+    def test_golden_heartbeat_journal_trace_has_liveness_instants(self):
+        events = read_journal(DATA / "golden_heartbeat_journal.jsonl")
+        trace = journal_to_trace(events)
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "fault kill_worker on 10.0.0.2:7700" in names
+        assert "heartbeat miss 10.0.0.2:7700" in names
+        assert "worker lost 10.0.0.2:7700" in names
+        assert "chunk 2 migrated" in names

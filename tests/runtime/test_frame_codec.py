@@ -1,0 +1,158 @@
+"""Property tests for the cluster's length-prefixed frame codec.
+
+The codec (``send_message`` / ``recv_message``) must round-trip any
+message dict through arbitrarily fragmented reads, surface truncation as
+:class:`EOFError`, reject oversize length prefixes *before* allocating,
+and never hang or return a non-dict no matter what bytes a confused peer
+sends.  These are wire-level invariants the chaos harness's frame faults
+rely on: a torn frame must look like a transport error, never like data.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.cluster import (
+    MAX_MESSAGE_BYTES,
+    recv_message,
+    send_message,
+)
+
+_HEADER = struct.Struct(">Q")
+
+
+class ScriptedSocket:
+    """A fake socket replaying ``data`` in caller-chosen fragments.
+
+    ``cuts`` are positions at which recv deliberately stops short, so a
+    property can drive the codec through every split-read shape.  Once
+    the data is exhausted recv returns ``b""`` — a clean peer close.
+    """
+
+    def __init__(self, data: bytes, cuts=()) -> None:
+        self._data = data
+        self._pos = 0
+        self._stops = sorted({c for c in cuts if 0 < c < len(data)})
+        self.sent = bytearray()
+        self.recv_sizes = []
+
+    def recv(self, size: int) -> bytes:
+        self.recv_sizes.append(size)
+        if self._pos >= len(self._data):
+            return b""
+        end = self._pos + size
+        for stop in self._stops:
+            if self._pos < stop < end:
+                end = stop
+                break
+        part = self._data[self._pos : end]
+        self._pos = end
+        return part
+
+    def sendall(self, data: bytes) -> None:
+        self.sent.extend(data)
+
+
+def framed(message) -> bytes:
+    """The exact bytes ``send_message`` puts on the wire for ``message``."""
+    sock = ScriptedSocket(b"")
+    send_message(sock, message)
+    return bytes(sock.sent)
+
+
+messages = st.dictionaries(
+    st.text(max_size=8),
+    st.one_of(
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.binary(max_size=64),
+        st.lists(st.integers(), max_size=8),
+        st.none(),
+    ),
+    max_size=8,
+)
+
+
+class TestRoundTrip:
+    @given(message=messages, data=st.data())
+    def test_any_fragmentation_round_trips(self, message, data):
+        wire = framed(message)
+        cuts = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max(1, len(wire) - 1)),
+                max_size=8,
+            )
+        )
+        sock = ScriptedSocket(wire, cuts=cuts)
+        assert recv_message(sock) == dict(message)
+
+    @given(message=messages)
+    def test_byte_at_a_time_reads_round_trip(self, message):
+        wire = framed(message)
+        sock = ScriptedSocket(wire, cuts=range(1, len(wire)))
+        assert recv_message(sock) == dict(message)
+
+    def test_two_frames_back_to_back(self):
+        first, second = {"type": "ping", "seq": 1}, {"type": "pong", "seq": 1}
+        sock = ScriptedSocket(framed(first) + framed(second), cuts=(3, 11, 20))
+        assert recv_message(sock) == first
+        assert recv_message(sock) == second
+
+
+class TestTruncation:
+    @given(message=messages, data=st.data())
+    def test_any_truncation_raises_eoferror(self, message, data):
+        wire = framed(message)
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        sock = ScriptedSocket(wire[:cut])
+        with pytest.raises(EOFError):
+            recv_message(sock)
+
+    def test_clean_close_before_any_byte_is_eof(self):
+        with pytest.raises(EOFError, match="peer closed"):
+            recv_message(ScriptedSocket(b""))
+
+
+class TestOversize:
+    @given(
+        length=st.integers(min_value=MAX_MESSAGE_BYTES + 1, max_value=2**64 - 1)
+    )
+    @settings(max_examples=30)
+    def test_oversize_prefix_rejected_before_allocation(self, length):
+        sock = ScriptedSocket(_HEADER.pack(length) + b"x" * 64)
+        with pytest.raises(OSError, match="exceeds"):
+            recv_message(sock)
+        # Only the 8-byte header may have been requested — the bogus
+        # payload length must never reach a recv call (no allocation).
+        assert all(size <= _HEADER.size for size in sock.recv_sizes)
+
+    def test_limit_itself_is_not_rejected_by_the_guard(self):
+        # A frame of exactly MAX_MESSAGE_BYTES passes the size check and
+        # then fails as a short read — EOFError, not the OSError guard.
+        sock = ScriptedSocket(_HEADER.pack(MAX_MESSAGE_BYTES) + b"x" * 16)
+        with pytest.raises(EOFError):
+            recv_message(sock)
+
+
+class TestGarbage:
+    @given(payload=st.binary(min_size=0, max_size=256))
+    def test_garbage_payload_never_hangs_or_yields_non_dicts(self, payload):
+        # A syntactically valid header framing arbitrary bytes: the codec
+        # must either produce a dict (random bytes *can* be a valid
+        # pickle, e.g. b"}." is {}) or raise — never hang, never hand
+        # back a non-dict.
+        sock = ScriptedSocket(_HEADER.pack(len(payload)) + payload)
+        try:
+            message = recv_message(sock)
+        except Exception:
+            return
+        assert isinstance(message, dict)
+
+    @given(junk=st.binary(min_size=1, max_size=64))
+    def test_garbage_prefix_shorter_than_a_header_is_eof(self, junk):
+        sock = ScriptedSocket(junk[: _HEADER.size - 1])
+        with pytest.raises(EOFError):
+            recv_message(sock)
